@@ -1,0 +1,239 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, on the quick cycle budget), the ablation
+// studies from DESIGN.md, and micro-benchmarks of each substrate.
+//
+// Macro benchmarks use a fresh seed per iteration so the experiment
+// harness's memoization cannot shortcut repeated iterations; flagship
+// benchmarks attach the reproduced headline metrics via b.ReportMetric.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/flow"
+	"repro/internal/link"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// benchExp runs one experiment per iteration with per-iteration seeds.
+func benchExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(id, exp.Options{Quick: true, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func BenchmarkFig03LinkUtilization(b *testing.B)     { benchExp(b, "fig3") }
+func BenchmarkFig04BufferUtilization(b *testing.B)   { benchExp(b, "fig4") }
+func BenchmarkFig05BufferAge(b *testing.B)           { benchExp(b, "fig5") }
+func BenchmarkFig07PowerBreakdown(b *testing.B)      { benchExp(b, "fig7") }
+func BenchmarkFig08SpatialVariance(b *testing.B)     { benchExp(b, "fig8") }
+func BenchmarkFig09TemporalVariance(b *testing.B)    { benchExp(b, "fig9") }
+func BenchmarkFig12Congestion(b *testing.B)          { benchExp(b, "fig12") }
+func BenchmarkFig13ThresholdLatency(b *testing.B)    { benchExp(b, "fig13") }
+func BenchmarkFig14ThresholdPower(b *testing.B)      { benchExp(b, "fig14") }
+func BenchmarkFig15ParetoCurve(b *testing.B)         { benchExp(b, "fig15") }
+func BenchmarkFig16VoltageTransition(b *testing.B)   { benchExp(b, "fig16") }
+func BenchmarkFig17FrequencyTransition(b *testing.B) { benchExp(b, "fig17") }
+func BenchmarkTable1Parameters(b *testing.B)         { benchExp(b, "tab1") }
+func BenchmarkTable2Thresholds(b *testing.B)         { benchExp(b, "tab2") }
+
+// BenchmarkFig10DVS100Tasks regenerates the headline figure and reports
+// the reproduced metrics of its central operating point.
+func BenchmarkFig10DVS100Tasks(b *testing.B) {
+	var last network.Results
+	for i := 0; i < b.N; i++ {
+		o := exp.Options{Quick: true, Seed: uint64(i + 1)}
+		if _, err := exp.Run("fig10", o); err != nil {
+			b.Fatal(err)
+		}
+		last = exp.Point(2.0, network.PolicyHistory, o)
+	}
+	b.ReportMetric(last.SavingsX, "savingsX")
+	b.ReportMetric(last.MeanLatency, "latency-cycles")
+}
+
+func BenchmarkFig11DVS50Tasks(b *testing.B) { benchExp(b, "fig11") }
+
+// BenchmarkHeadlineSavings reproduces the abstract's comparison table.
+func BenchmarkHeadlineSavings(b *testing.B) {
+	var maxSav float64
+	for i := 0; i < b.N; i++ {
+		o := exp.Options{Quick: true, Seed: uint64(i + 1)}
+		if _, err := exp.Run("headline", o); err != nil {
+			b.Fatal(err)
+		}
+		if s := exp.Point(0.5, network.PolicyHistory, o).SavingsX; s > maxSav {
+			maxSav = s
+		}
+	}
+	b.ReportMetric(maxSav, "max-savingsX")
+}
+
+// --- Ablation benches (design choices DESIGN.md calls out) --------------
+
+func BenchmarkAblationNoBufferLitmus(b *testing.B)     { benchExp(b, "abl-litmus") }
+func BenchmarkAblationWindowSize(b *testing.B)         { benchExp(b, "abl-window") }
+func BenchmarkAblationWeight(b *testing.B)             { benchExp(b, "abl-weight") }
+func BenchmarkAblationAdaptiveThresholds(b *testing.B) { benchExp(b, "abl-adaptive") }
+func BenchmarkAblationRouting(b *testing.B)            { benchExp(b, "abl-routing") }
+func BenchmarkAblationLevels(b *testing.B)             { benchExp(b, "abl-levels") }
+func BenchmarkAblationTopology(b *testing.B)           { benchExp(b, "abl-topology") }
+func BenchmarkAblationRouterPower(b *testing.B)        { benchExp(b, "abl-routerpower") }
+func BenchmarkSaturationThroughput(b *testing.B)       { benchExp(b, "saturation") }
+func BenchmarkOrionCrossCheck(b *testing.B)            { benchExp(b, "orion") }
+func BenchmarkNoiseMargin(b *testing.B)                { benchExp(b, "noise") }
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkNetworkStep8x8 measures the cost of one router cycle of the
+// paper's full 8x8 platform under load.
+func BenchmarkNetworkStep8x8(b *testing.B) {
+	cfg := network.NewConfig()
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := traffic.NewTwoLevelParams(1.5)
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Launch(m, sim.Time(1e12))
+	n.Run(5000) // prime the pipelines
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkRouterTick measures one allocation cycle of a loaded router.
+func BenchmarkRouterTick(b *testing.B) {
+	cfg := router.NewConfig(5)
+	r, err := router.New(0, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.RouteFn = func(*flow.Packet) []routing.Candidate {
+		return []routing.Candidate{{Port: 2, VCs: []int{0, 1}}}
+	}
+	pkt := flow.NewPacket(1, 0, 1, 0, -1)
+	refill := func(now sim.Time) {
+		for _, f := range flow.NewPacketFlits(pkt) {
+			f.VC = 0
+			r.Inputs[1].Arrive(f, now)
+		}
+	}
+	refill(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i) * sim.Nanosecond
+		r.Tick(now, sim.Nanosecond)
+		if r.Inputs[1].Occupied() == 0 {
+			b.StopTimer()
+			for _, ov := range []int{0, 1} {
+				for r.Outputs[2].OccupiedSlots() > 0 {
+					r.Outputs[2].ReturnCredit(ov, now)
+				}
+			}
+			refill(now)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkLinkSend measures flit serialization bookkeeping.
+func BenchmarkLinkSend(b *testing.B) {
+	table := link.MustTable(link.NewParams())
+	var sched sim.Scheduler
+	l := link.NewDVSLink(table, &sched, table.Top())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(sim.Time(i) * sim.Nanosecond)
+	}
+}
+
+// BenchmarkLinkTransition measures a full down-and-up DVS transition pair.
+func BenchmarkLinkTransition(b *testing.B) {
+	table := link.MustTable(link.NewParams())
+	var sched sim.Scheduler
+	l := link.NewDVSLink(table, &sched, table.Top())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Walk down the table and bounce back up, one completed
+		// transition per iteration.
+		l.RequestStep(sched.Now(), l.Level() == 0)
+		sched.RunUntil(sched.Now() + 15*sim.Microsecond)
+	}
+}
+
+// BenchmarkPolicyDecide measures one history window of Algorithm 1.
+func BenchmarkPolicyDecide(b *testing.B) {
+	h, err := core.NewHistoryDVS(core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Decide(core.Measures{LinkUtil: float64(i%100) / 100, BufUtil: float64(i%50) / 100})
+	}
+}
+
+// BenchmarkPolicyDecideHW measures the fixed-point hardware model.
+func BenchmarkPolicyDecideHW(b *testing.B) {
+	h := &core.HWHistoryDVS{P: core.DefaultParams()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Decide(core.Measures{LinkUtil: float64(i%100) / 100, BufUtil: float64(i%50) / 100})
+	}
+}
+
+// BenchmarkTwoLevelGeneration measures workload generation alone.
+func BenchmarkTwoLevelGeneration(b *testing.B) {
+	topo := topology.NewMesh2D(8)
+	p := traffic.NewTwoLevelParams(1.0)
+	m, err := traffic.NewTwoLevel(p, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sched sim.Scheduler
+	count := 0
+	m.Launch(&sched, sim.Time(1e12), func(int, int, sim.Time, int64) { count++ })
+	b.ResetTimer()
+	start := sched.Now()
+	sched.RunUntil(start + sim.Time(b.N)*sim.Nanosecond)
+	if count == 0 {
+		b.Fatal("no injections generated")
+	}
+}
+
+// BenchmarkDORRoute measures one dimension-order route computation.
+func BenchmarkDORRoute(b *testing.B) {
+	topo := topology.NewMesh2D(8)
+	alg := routing.DimensionOrder{}
+	st := routing.NewState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Route(topo, i%64, (i+37)%64, 2, st)
+	}
+}
+
+// BenchmarkAdaptiveRoute measures one minimal-adaptive route computation.
+func BenchmarkAdaptiveRoute(b *testing.B) {
+	topo := topology.NewMesh2D(8)
+	alg := routing.MinimalAdaptive{}
+	st := routing.NewState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Route(topo, i%64, (i+37)%64, 2, st)
+	}
+}

@@ -1,0 +1,64 @@
+// Command figures regenerates the paper's tables and figures as text
+// tables: one experiment per artifact of the evaluation section.
+//
+//	figures -list                 # what can be regenerated
+//	figures -exp fig10            # latency & power vs rate, 100 tasks
+//	figures -exp all -quick       # smoke-run everything
+//	figures -exp fig10 -full      # the paper's 10M-cycle budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/noc"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (see -list), comma-separated ids, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids")
+		quick = flag.Bool("quick", false, "shrink cycle budgets for a fast smoke run")
+		full  = flag.Bool("full", false, "use the paper's 10M-cycle budget")
+		seed  = flag.Uint64("seed", 1, "random seed family")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, line := range noc.Experiments() {
+			fmt.Println("  " + line)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := noc.ExperimentOptions{Quick: *quick, Full: *full, Seed: *seed}
+	var ids []string
+	switch {
+	case *expID == "all":
+		for _, line := range noc.Experiments() {
+			ids = append(ids, strings.Fields(line)[0])
+		}
+	default:
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		if len(ids) > 1 {
+			fmt.Printf("### %s\n\n", id)
+		}
+		runFn := noc.RunExperiment
+		if *csv {
+			runFn = noc.RunExperimentCSV
+		}
+		if err := runFn(id, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command netsim runs one simulation of the link-DVS network platform from
+// flags and prints a result summary: the direct way to explore one
+// operating point of the paper's system.
+//
+// Example — the paper's setup at 1.0 packets/cycle, with and without DVS:
+//
+//	netsim -rate 1.0 -policy history
+//	netsim -rate 1.0 -policy none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/noc"
+)
+
+func main() {
+	var (
+		cfgPath  = flag.String("config", "", "JSON config file (see noc.SaveConfig); flags override")
+		mesh     = flag.Int("mesh", 8, "mesh size k (k-ary 2-cube)")
+		torus    = flag.Bool("torus", false, "wraparound (torus) channels")
+		policy   = flag.String("policy", "history", "DVS policy: history | none | link-util-only | adaptive-thresholds")
+		routing  = flag.String("routing", "dor", "routing algorithm: dor | adaptive")
+		traffic  = flag.String("traffic", "twolevel", "workload: twolevel | uniform | transpose | bitreverse | shuffle | tornado | hotspot")
+		rate     = flag.Float64("rate", 1.0, "aggregate packets/cycle (twolevel) or per-node rate (others)")
+		tasks    = flag.Int("tasks", 100, "average concurrent task sessions (twolevel)")
+		taskDur  = flag.Duration("taskdur", time.Millisecond, "average task duration (twolevel)")
+		voltTran = flag.Duration("volttran", 10*time.Microsecond, "voltage transition latency")
+		freqTran = flag.Int("freqtran", 100, "frequency transition latency (link cycles)")
+		warmup   = flag.Int64("warmup", 60_000, "warmup cycles before measurement")
+		measure  = flag.Int64("cycles", 150_000, "measured cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		levels   = flag.Bool("levels", false, "print the final DVS level histogram")
+		traceN   = flag.Int("trace", 0, "dump the last N trace events after the run")
+		traceK   = flag.String("tracekind", "", "trace filter: inject | deliver | transition | policy")
+	)
+	flag.Parse()
+
+	cfg := noc.DefaultConfig()
+	if *cfgPath != "" {
+		loaded, err := noc.LoadConfig(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		cfg = loaded
+	}
+	// Flags override the config file only when given explicitly.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["mesh"] || *cfgPath == "" {
+		cfg.MeshSize = *mesh
+	}
+	if set["torus"] || *cfgPath == "" {
+		cfg.Torus = *torus
+	}
+	if set["policy"] || *cfgPath == "" {
+		cfg.Policy = *policy
+	}
+	if set["routing"] || *cfgPath == "" {
+		cfg.Routing = *routing
+	}
+	if set["volttran"] || *cfgPath == "" {
+		cfg.VoltTransition = *voltTran
+	}
+	if set["freqtran"] || *cfgPath == "" {
+		cfg.FreqTransitionCycles = *freqTran
+	}
+	if set["seed"] || *cfgPath == "" {
+		cfg.Seed = *seed
+	}
+
+	n, err := noc.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+	if *traceN > 0 {
+		n.EnableTrace(*traceN)
+	}
+	switch *traffic {
+	case "twolevel":
+		err = n.AttachTwoLevel(noc.TwoLevelWorkload{
+			Rate: *rate, Tasks: *tasks, TaskDuration: *taskDur, Seed: *seed,
+		})
+	case "uniform":
+		n.AttachUniform(*rate)
+	case "transpose":
+		n.AttachTranspose(*rate)
+	case "bitreverse":
+		n.AttachBitReverse(*rate)
+	case "shuffle":
+		n.AttachShuffle(*rate)
+	case "tornado":
+		n.AttachTornado(*rate)
+	case "hotspot":
+		n.AttachHotspot(*rate, 0, 0.2)
+	default:
+		err = fmt.Errorf("unknown traffic %q", *traffic)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+
+	n.Warmup(*warmup)
+	r := n.Measure(*measure)
+
+	fmt.Printf("platform   : %dx%d mesh(torus=%v), policy=%s, routing=%s\n",
+		*mesh, *mesh, *torus, *policy, *routing)
+	fmt.Printf("workload   : %s rate=%.2f (tasks=%d, dur=%v)\n", *traffic, *rate, *tasks, *taskDur)
+	fmt.Printf("cycles     : %d measured after %d warmup\n", r.Cycles, *warmup)
+	fmt.Printf("packets    : %d injected, %d delivered, %d in flight\n",
+		r.InjectedPackets, r.DeliveredPackets, n.InFlight())
+	fmt.Printf("latency    : %.1f cycles mean (P50 %.0f, P99 %.0f)\n",
+		r.MeanLatencyCycles, r.P50LatencyCycles, r.P99LatencyCycles)
+	fmt.Printf("throughput : %.3f packets/cycle\n", r.ThroughputPkts)
+	fmt.Printf("power      : %.1f W avg (%.3f of non-DVS baseline, %.2fX savings)\n",
+		r.AvgPowerW, r.NormalizedPower, r.PowerSavingsX)
+	if *levels {
+		fmt.Printf("levels     :")
+		for lvl, count := range n.LevelHistogram() {
+			fmt.Printf(" L%d:%d", lvl, count)
+		}
+		fmt.Println()
+	}
+	if *traceN > 0 {
+		fmt.Println("trace      :")
+		if err := n.DumpTrace(os.Stdout, *traceK); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+		}
+	}
+}

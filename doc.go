@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Dynamic Voltage
+// Scaling with Links for Power Optimization of Interconnection Networks"
+// (Li Shang, Li-Shiuan Peh, Niraj K. Jha — HPCA 2003).
+//
+// The public API lives in package repro/noc; the command-line tools in
+// cmd/netsim and cmd/figures; the substrates in internal/... (simulation
+// kernel, k-ary n-cube topology, routing, pipelined VC routers, DVS link
+// model, the history-based DVS policy, the two-level self-similar traffic
+// model, power accounting, statistics, and the per-figure experiment
+// harness).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results for every table and figure.
+package repro

@@ -1,0 +1,52 @@
+// Threshold trade-off: sweep the paper's Table 2 threshold settings I-VI
+// at a fixed load and trace the latency-vs-power Pareto frontier of the
+// history-based DVS policy (Figures 13-15).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/noc"
+)
+
+// settings are Table 2 of the paper: the light-load threshold band from
+// conservative (I) to aggressive (VI).
+var settings = []struct {
+	name          string
+	tlLow, tlHigh float64
+}{
+	{"I", 0.2, 0.3},
+	{"II", 0.25, 0.35},
+	{"III", 0.3, 0.4},
+	{"IV", 0.35, 0.45},
+	{"V", 0.4, 0.5},
+	{"VI", 0.5, 0.6},
+}
+
+func main() {
+	const rate = 4.0 // ~80% of this platform's saturation, like the paper's 1.7
+
+	fmt.Printf("Pareto sweep at %.1f packets/cycle (paper Figure 15)\n\n", rate)
+	fmt.Printf("%-8s %-16s %-12s %-10s\n", "setting", "latency (cycles)", "norm power", "savings")
+	for _, s := range settings {
+		cfg := noc.DefaultConfig()
+		cfg.TLLow, cfg.TLHigh = s.tlLow, s.tlHigh
+		net, err := noc.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.AttachTwoLevel(noc.TwoLevelWorkload{
+			Rate: rate, Tasks: 100, TaskDuration: time.Millisecond,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		net.Warmup(40_000)
+		r := net.Measure(80_000)
+		fmt.Printf("%-8s %-16.0f %-12.3f %.2fX\n",
+			s.name, r.MeanLatencyCycles, r.NormalizedPower, r.PowerSavingsX)
+	}
+	fmt.Println("\nMore aggressive settings save more power at higher latency:")
+	fmt.Println("an improvement in one metric costs the other (the paper's Pareto curve).")
+}

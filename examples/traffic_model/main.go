@@ -1,0 +1,22 @@
+// Traffic model: regenerate the paper's workload-characterization
+// artifacts through the public experiment API — the spatial variance of
+// the two-level task model (Figure 8), its temporal burstiness at one
+// router (Figure 9), and the per-link measure profiles that motivated the
+// policy design (Figures 3-5).
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/noc"
+)
+
+func main() {
+	opts := noc.ExperimentOptions{Quick: true}
+	for _, id := range []string{"fig8", "fig9", "fig3", "fig4"} {
+		if err := noc.RunExperiment(id, opts, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Transition study: how DVS link transition speed shapes network
+// performance (paper Section 4.4.3, Figures 16-17). Faster voltage ramps
+// and clock re-locks let the policy track bursty traffic with a smaller
+// latency/throughput penalty — the paper's argument that better link
+// technology directly improves DVS networks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/noc"
+)
+
+func main() {
+	const rate = 3.0
+
+	fmt.Printf("history-based DVS at %.1f packets/cycle, varying link transition speed\n\n", rate)
+	fmt.Printf("%-12s %-12s %-18s %-12s %-10s\n",
+		"volt ramp", "freq lock", "latency (cycles)", "throughput", "savings")
+	for _, tc := range []struct {
+		volt time.Duration
+		freq int
+	}{
+		{10 * time.Microsecond, 100}, // the paper's conservative assumption
+		{10 * time.Microsecond, 10},
+		{1 * time.Microsecond, 100},
+		{1 * time.Microsecond, 10}, // an aggressive future link
+	} {
+		cfg := noc.DefaultConfig()
+		cfg.VoltTransition = tc.volt
+		cfg.FreqTransitionCycles = tc.freq
+		net, err := noc.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.AttachTwoLevel(noc.TwoLevelWorkload{
+			Rate: rate, Tasks: 100, TaskDuration: 100 * time.Microsecond,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		net.Warmup(40_000)
+		r := net.Measure(80_000)
+		fmt.Printf("%-12v %-12s %-18.0f %-12.3f %.2fX\n",
+			tc.volt, fmt.Sprintf("%d cycles", tc.freq),
+			r.MeanLatencyCycles, r.ThroughputPkts, r.PowerSavingsX)
+	}
+	fmt.Println("\nFaster transitions track the bursty workload more closely,")
+	fmt.Println("cutting the performance cost of the same DVS policy.")
+}

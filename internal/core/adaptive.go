@@ -1,0 +1,101 @@
+package core
+
+// AdaptiveThresholds is the extension Section 4.4.2 points to: "the
+// possibility of dynamically adjusting threshold settings to trade off
+// power savings and latency/throughput performance". It runs Algorithm 1
+// but walks the light-load band through the paper's Table 2 settings
+// (I..VI) online, using only locally observable state:
+//
+//   - when the link neither raises nor sees buffer pressure for Patience
+//     consecutive windows, latency slack exists, so it moves one setting
+//     more aggressive (more power savings);
+//   - when the inner policy prescribes Raise in consecutive windows —
+//     demand is outrunning the band, the precursor of queueing delay — or
+//     predicted buffer utilization climbs into the upper half of the
+//     pre-congestion range, it immediately backs off one setting to
+//     protect latency. (Buffer utilization alone is not enough: the
+//     paper's own Figure 4 shows BU stays near zero until the network is
+//     already congested.)
+//
+// This keeps the controller as cheap as the paper's 500-gate port circuit:
+// two saturating counters and an index into a small table.
+type AdaptiveThresholds struct {
+	P Params
+	// Patience is how many consecutive low-pressure windows promote the
+	// band one step (default 8 when zero).
+	Patience int
+
+	inner    HistoryDVS
+	settings []ThresholdSetting
+	idx      int // current Table 2 setting
+	calm     int // consecutive low-pressure windows
+	raises   int // consecutive Raise prescriptions
+}
+
+// NewAdaptiveThresholds starts at Table 2 setting III (the paper's Table 1
+// default band).
+func NewAdaptiveThresholds(p Params) (*AdaptiveThresholds, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &AdaptiveThresholds{
+		P:        p,
+		Patience: 8,
+		settings: Table2Settings(),
+		idx:      2, // setting III == Table 1's (0.3, 0.4)
+	}
+	a.inner = HistoryDVS{P: a.settings[a.idx].Apply(p)}
+	return a, nil
+}
+
+// Name implements Policy.
+func (a *AdaptiveThresholds) Name() string { return "adaptive-thresholds" }
+
+// Setting reports the Table 2 setting currently in force.
+func (a *AdaptiveThresholds) Setting() ThresholdSetting { return a.settings[a.idx] }
+
+// Decide implements Policy.
+func (a *AdaptiveThresholds) Decide(m Measures) Decision {
+	d := a.inner.Decide(m)
+	_, buPred := a.inner.Predicted()
+	if d == Raise {
+		a.raises++
+	} else {
+		a.raises = 0
+	}
+	switch {
+	case a.raises >= 2 || buPred >= a.P.BCongested/2:
+		// Demand outrunning the band, or buffer pressure building:
+		// protect latency.
+		a.calm = 0
+		a.step(-1)
+	case d != Raise && buPred < a.P.BCongested/4:
+		// Hold or Lower with empty buffers: latency slack.
+		a.calm++
+		if a.calm >= a.patience() {
+			a.calm = 0
+			a.step(+1)
+		}
+	default:
+		a.calm = 0
+	}
+	return d
+}
+
+func (a *AdaptiveThresholds) patience() int {
+	if a.Patience <= 0 {
+		return 8
+	}
+	return a.Patience
+}
+
+// step moves the active setting by delta within Table 2, re-arming the
+// inner policy's thresholds while preserving its utilization history.
+func (a *AdaptiveThresholds) step(delta int) {
+	next := a.idx + delta
+	if next < 0 || next >= len(a.settings) {
+		return
+	}
+	a.idx = next
+	a.inner.P = a.settings[a.idx].Apply(a.P)
+}

@@ -1,0 +1,256 @@
+// Package core implements the paper's primary contribution: the
+// distributed history-based DVS policy (Section 3) that each router output
+// port runs to control the frequency and voltage of its channel's links.
+//
+// The policy samples two traffic measures over a history window of H router
+// cycles — link utilization LU (Eq. 2) as the primary load indicator and
+// downstream input-buffer utilization BU (Eq. 3) as a congestion litmus —
+// smooths both with an exponential weighted average (Eq. 5), and then steps
+// the link one frequency/voltage level down, up, or neither against a
+// threshold band. Below the congestion point the conservative band
+// (TLLow, TLHigh) protects latency; past it the aggressive band
+// (THLow, THHigh) harvests power from links whose delay is hidden by
+// downstream stalls.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Decision is a DVS policy's prescription for one history window.
+type Decision int8
+
+const (
+	// Lower steps the link one level slower (and its voltage down).
+	Lower Decision = -1
+	// Hold leaves the link at its current level.
+	Hold Decision = 0
+	// Raise steps the link one level faster (and its voltage up).
+	Raise Decision = 1
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Lower:
+		return "lower"
+	case Hold:
+		return "hold"
+	case Raise:
+		return "raise"
+	default:
+		return fmt.Sprintf("Decision(%d)", int8(d))
+	}
+}
+
+// Params are the history-based DVS policy parameters (paper Table 1).
+type Params struct {
+	// W is the exponential weighted average weight: predicted =
+	// (W*current + past) / (W+1). The paper sets W=3 so the hardware
+	// reduces to a shift-and-add.
+	W int
+	// H is the history window length in router clock cycles.
+	H int
+	// BCongested is the buffer-utilization litmus: predicted BU at or above
+	// it switches the policy to the congested threshold band.
+	BCongested float64
+	// TLLow and TLHigh bound the link-utilization band when the network is
+	// lightly loaded.
+	TLLow, TLHigh float64
+	// THLow and THHigh bound the band when the network is congested; they
+	// are higher, prescribing more aggressive power savings because link
+	// delay is hidden behind downstream stalls.
+	THLow, THHigh float64
+}
+
+// DefaultParams returns the paper's Table 1 settings.
+func DefaultParams() Params {
+	return Params{
+		W:          3,
+		H:          200,
+		BCongested: 0.5,
+		TLLow:      0.3,
+		TLHigh:     0.4,
+		THLow:      0.6,
+		THHigh:     0.7,
+	}
+}
+
+// Validate reports whether the parameters are self-consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.W < 1:
+		return fmt.Errorf("core: W = %d, need >= 1", p.W)
+	case p.H < 1:
+		return fmt.Errorf("core: H = %d, need >= 1", p.H)
+	case p.BCongested < 0 || p.BCongested > 1:
+		return fmt.Errorf("core: BCongested = %g outside [0,1]", p.BCongested)
+	case !(0 <= p.TLLow && p.TLLow < p.TLHigh && p.TLHigh <= 1):
+		return fmt.Errorf("core: light band [%g,%g] invalid", p.TLLow, p.TLHigh)
+	case !(0 <= p.THLow && p.THLow < p.THHigh && p.THHigh <= 1):
+		return fmt.Errorf("core: congested band [%g,%g] invalid", p.THLow, p.THHigh)
+	}
+	return nil
+}
+
+// ThresholdSetting is one column of the paper's Table 2: a (TLLow, TLHigh)
+// band used in the power/performance trade-off study.
+type ThresholdSetting struct {
+	Name          string
+	TLLow, TLHigh float64
+}
+
+// Table2Settings returns the six threshold settings I–VI of paper Table 2,
+// ordered from least (I) to most (VI) aggressive.
+func Table2Settings() []ThresholdSetting {
+	return []ThresholdSetting{
+		{"I", 0.2, 0.3},
+		{"II", 0.25, 0.35},
+		{"III", 0.3, 0.4},
+		{"IV", 0.35, 0.45},
+		{"V", 0.4, 0.5},
+		{"VI", 0.5, 0.6},
+	}
+}
+
+// Apply returns params with the setting's light-load band substituted.
+func (s ThresholdSetting) Apply(p Params) Params {
+	p.TLLow, p.TLHigh = s.TLLow, s.TLHigh
+	return p
+}
+
+// Measures carries one history window's observations into a policy.
+type Measures struct {
+	// LinkUtil is LU over the window: the fraction of link time spent
+	// relaying flits (Eq. 2).
+	LinkUtil float64
+	// BufUtil is BU over the window: mean occupied fraction of the
+	// downstream input buffers the link feeds (Eq. 3), available locally
+	// from credit-based flow-control state.
+	BufUtil float64
+}
+
+// Policy prescribes a per-window decision for one output port's links.
+// Implementations carry per-port state and must not be shared across ports.
+type Policy interface {
+	Decide(m Measures) Decision
+	Name() string
+}
+
+// HistoryDVS is the paper's Algorithm 1. The zero value uses zeroed
+// history; construct with NewHistoryDVS to validate parameters.
+type HistoryDVS struct {
+	P Params
+
+	luPast, buPast float64
+}
+
+// NewHistoryDVS returns a fresh per-port policy instance.
+func NewHistoryDVS(p Params) (*HistoryDVS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &HistoryDVS{P: p}, nil
+}
+
+// Name implements Policy.
+func (h *HistoryDVS) Name() string { return "history-dvs" }
+
+// Predicted reports the current exponentially weighted predictions (for
+// tests and instrumentation).
+func (h *HistoryDVS) Predicted() (lu, bu float64) { return h.luPast, h.buPast }
+
+// Decide implements Algorithm 1 for one history window.
+func (h *HistoryDVS) Decide(m Measures) Decision {
+	w := float64(h.P.W)
+	luPred := (w*m.LinkUtil + h.luPast) / (w + 1)
+	h.luPast = luPred
+	buPred := (w*m.BufUtil + h.buPast) / (w + 1)
+	h.buPast = buPred
+
+	tLow, tHigh := h.P.TLLow, h.P.TLHigh
+	if buPred >= h.P.BCongested {
+		tLow, tHigh = h.P.THLow, h.P.THHigh
+	}
+	switch {
+	case luPred < tLow:
+		return Lower
+	case luPred > tHigh:
+		return Raise
+	default:
+		return Hold
+	}
+}
+
+// NoDVS never changes link levels — the paper's baseline, with every link
+// pinned at full frequency and voltage.
+type NoDVS struct{}
+
+// Name implements Policy.
+func (NoDVS) Name() string { return "no-dvs" }
+
+// Decide implements Policy.
+func (NoDVS) Decide(Measures) Decision { return Hold }
+
+// LinkUtilOnly is the ablation the paper argues against in Section 3.1: the
+// history-based policy with the buffer-utilization litmus removed, so the
+// light-load band applies at every load. Under congestion it keeps trying
+// to speed up stalled links instead of harvesting their hidden delay.
+type LinkUtilOnly struct {
+	P      Params
+	luPast float64
+}
+
+// Name implements Policy.
+func (l *LinkUtilOnly) Name() string { return "link-util-only" }
+
+// Decide implements Policy.
+func (l *LinkUtilOnly) Decide(m Measures) Decision {
+	w := float64(l.P.W)
+	luPred := (w*m.LinkUtil + l.luPast) / (w + 1)
+	l.luPast = luPred
+	switch {
+	case luPred < l.P.TLLow:
+		return Lower
+	case luPred > l.P.TLHigh:
+		return Raise
+	default:
+		return Hold
+	}
+}
+
+// Eq. 2: link utilization over a window, as measured in time rather than
+// link cycles — identical when the frequency is constant within the window
+// and well-defined across transitions.
+func LinkUtilization(busy, window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(busy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Eq. 3: buffer utilization from the time integral of occupancy
+// (slot-picoseconds) over a window for a buffer of size slots.
+func BufferUtilization(occupancyIntegral sim.Duration, slots int, window sim.Duration) float64 {
+	if window <= 0 || slots <= 0 {
+		return 0
+	}
+	u := float64(occupancyIntegral) / (float64(slots) * float64(window))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Eq. 4: mean input-buffer age of the flits that departed in a window.
+func BufferAge(sumResidency sim.Duration, departed int) float64 {
+	if departed == 0 {
+		return 0
+	}
+	return float64(sumResidency) / float64(departed)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.W != 3 || p.H != 200 || p.BCongested != 0.5 {
+		t.Errorf("W/H/Bc = %d/%d/%g, want 3/200/0.5", p.W, p.H, p.BCongested)
+	}
+	if p.TLLow != 0.3 || p.TLHigh != 0.4 || p.THLow != 0.6 || p.THHigh != 0.7 {
+		t.Errorf("bands = %g/%g %g/%g, want 0.3/0.4 0.6/0.7",
+			p.TLLow, p.TLHigh, p.THLow, p.THHigh)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Table 1 params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.W = 0 },
+		func(p *Params) { p.H = 0 },
+		func(p *Params) { p.BCongested = 1.5 },
+		func(p *Params) { p.TLLow = p.TLHigh },
+		func(p *Params) { p.THHigh = p.THLow - 0.1 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	h, err := NewHistoryDVS(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding a constant utilization converges the prediction to it.
+	for i := 0; i < 50; i++ {
+		h.Decide(Measures{LinkUtil: 0.35, BufUtil: 0.2})
+	}
+	lu, bu := h.Predicted()
+	if math.Abs(lu-0.35) > 1e-6 || math.Abs(bu-0.2) > 1e-6 {
+		t.Errorf("predictions = %g, %g; want 0.35, 0.2", lu, bu)
+	}
+}
+
+func TestEWMAFiltersTransients(t *testing.T) {
+	h, _ := NewHistoryDVS(DefaultParams())
+	// Settle in the hold band.
+	for i := 0; i < 50; i++ {
+		h.Decide(Measures{LinkUtil: 0.35, BufUtil: 0.1})
+	}
+	// One single idle window must not immediately prescribe Lower:
+	// prediction only falls to (3*0 + 0.35)/4 = 0.0875 < 0.3 — with W=3 a
+	// single zero sample does cross the band. The filtering property the
+	// paper wants is over *small* fluctuations:
+	if d := h.Decide(Measures{LinkUtil: 0.32, BufUtil: 0.1}); d != Hold {
+		t.Errorf("small dip prescribed %v, want hold", d)
+	}
+	if d := h.Decide(Measures{LinkUtil: 0.38, BufUtil: 0.1}); d != Hold {
+		t.Errorf("small rise prescribed %v, want hold", d)
+	}
+}
+
+func TestDecisionBands(t *testing.T) {
+	tests := []struct {
+		lu, bu float64
+		want   Decision
+	}{
+		// Light load band (BU < 0.5): thresholds 0.3 / 0.4.
+		{0.05, 0.1, Lower},
+		{0.35, 0.1, Hold},
+		{0.90, 0.1, Raise},
+		// Congested band (BU >= 0.5): thresholds 0.6 / 0.7.
+		{0.45, 0.9, Lower}, // would Raise.. would Hold in light band
+		{0.65, 0.9, Hold},
+		{0.95, 0.9, Raise},
+	}
+	for _, tt := range tests {
+		h, _ := NewHistoryDVS(DefaultParams())
+		// Saturate history at the test point so the prediction equals it.
+		var got Decision
+		for i := 0; i < 60; i++ {
+			got = h.Decide(Measures{LinkUtil: tt.lu, BufUtil: tt.bu})
+		}
+		if got != tt.want {
+			t.Errorf("Decide(LU=%g, BU=%g) = %v, want %v", tt.lu, tt.bu, got, tt.want)
+		}
+	}
+}
+
+func TestCongestionLitmusSwitchesBands(t *testing.T) {
+	// LU = 0.45 sits above the light band (raise... no: 0.45 > TLHigh=0.4
+	// -> Raise) but below the congested band low threshold (0.45 < 0.6 ->
+	// Lower). The litmus must flip the prescription.
+	light, _ := NewHistoryDVS(DefaultParams())
+	congested, _ := NewHistoryDVS(DefaultParams())
+	var dLight, dCong Decision
+	for i := 0; i < 60; i++ {
+		dLight = light.Decide(Measures{LinkUtil: 0.45, BufUtil: 0.1})
+		dCong = congested.Decide(Measures{LinkUtil: 0.45, BufUtil: 0.9})
+	}
+	if dLight != Raise {
+		t.Errorf("light-load decision = %v, want raise", dLight)
+	}
+	if dCong != Lower {
+		t.Errorf("congested decision = %v, want lower (delay is hidden)", dCong)
+	}
+}
+
+func TestNoDVSAlwaysHolds(t *testing.T) {
+	f := func(lu, bu float64) bool {
+		return NoDVS{}.Decide(Measures{LinkUtil: lu, BufUtil: bu}) == Hold
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkUtilOnlyIgnoresCongestion(t *testing.T) {
+	p := DefaultParams()
+	ablation := &LinkUtilOnly{P: p}
+	var got Decision
+	for i := 0; i < 60; i++ {
+		got = ablation.Decide(Measures{LinkUtil: 0.45, BufUtil: 0.95})
+	}
+	// Without the litmus it keeps pushing the stalled link faster.
+	if got != Raise {
+		t.Errorf("ablation decision = %v, want raise", got)
+	}
+}
+
+func TestTable2Settings(t *testing.T) {
+	s := Table2Settings()
+	if len(s) != 6 {
+		t.Fatalf("got %d settings, want 6", len(s))
+	}
+	wantLow := []float64{0.2, 0.25, 0.3, 0.35, 0.4, 0.5}
+	wantHigh := []float64{0.3, 0.35, 0.4, 0.45, 0.5, 0.6}
+	for i := range s {
+		if s[i].TLLow != wantLow[i] || s[i].TLHigh != wantHigh[i] {
+			t.Errorf("setting %s = (%g,%g), want (%g,%g)",
+				s[i].Name, s[i].TLLow, s[i].TLHigh, wantLow[i], wantHigh[i])
+		}
+		if p := s[i].Apply(DefaultParams()); p.Validate() != nil {
+			t.Errorf("setting %s yields invalid params", s[i].Name)
+		}
+	}
+}
+
+func TestMoreAggressiveSettingsLowerMore(t *testing.T) {
+	// Property: for any utilization trace, a more aggressive setting never
+	// prescribes fewer Lower decisions than a less aggressive one.
+	f := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		trace := make([]Measures, 50)
+		for i := range trace {
+			trace[i] = Measures{LinkUtil: rng.Float64(), BufUtil: rng.Float64() * 0.4}
+		}
+		prev := -1
+		for _, s := range Table2Settings() {
+			h, _ := NewHistoryDVS(s.Apply(DefaultParams()))
+			lowers := 0
+			for _, m := range trace {
+				if h.Decide(m) == Lower {
+					lowers++
+				}
+			}
+			if prev >= 0 && lowers < prev {
+				return false
+			}
+			prev = lowers
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureHelpers(t *testing.T) {
+	if u := LinkUtilization(50*sim.Nanosecond, 200*sim.Nanosecond); u != 0.25 {
+		t.Errorf("LinkUtilization = %g, want 0.25", u)
+	}
+	if u := LinkUtilization(300*sim.Nanosecond, 200*sim.Nanosecond); u != 1 {
+		t.Errorf("LinkUtilization should clamp to 1, got %g", u)
+	}
+	if u := LinkUtilization(10, 0); u != 0 {
+		t.Errorf("zero window should give 0, got %g", u)
+	}
+	// 128 slots, window 100ns, integral 6400 slot-ns -> BU = 0.5.
+	integral := sim.Duration(6400 * sim.Nanosecond)
+	if u := BufferUtilization(integral, 128, 100*sim.Nanosecond); u != 0.5 {
+		t.Errorf("BufferUtilization = %g, want 0.5", u)
+	}
+	if a := BufferAge(90*sim.Nanosecond, 3); a != float64(30*sim.Nanosecond) {
+		t.Errorf("BufferAge = %g, want 30ns in ps", a)
+	}
+	if a := BufferAge(90, 0); a != 0 {
+		t.Errorf("BufferAge with no departures = %g, want 0", a)
+	}
+}
+
+func TestHWArithMatchesFloat(t *testing.T) {
+	// Property: the shift-add fixed-point policy and the float policy agree
+	// on every decision for random traces (quantization can only matter
+	// within half an LSB of a threshold, which random traces make
+	// overwhelmingly unlikely to straddle).
+	f := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		sw, _ := NewHistoryDVS(DefaultParams())
+		hw := &HWHistoryDVS{P: DefaultParams()}
+		for i := 0; i < 200; i++ {
+			m := Measures{LinkUtil: rng.Float64(), BufUtil: rng.Float64()}
+			if sw.Decide(m) != hw.Decide(m) {
+				// Tolerate disagreement only when a prediction sits within
+				// quantization distance of a band edge (including the
+				// congestion litmus, which flips the whole band).
+				lu, bu := sw.Predicted()
+				p := DefaultParams()
+				const tol = 4.0 / (1 << FixedBits)
+				if math.Abs(bu-p.BCongested) < tol {
+					return true
+				}
+				for _, edge := range []float64{p.TLLow, p.TLHigh, p.THLow, p.THHigh} {
+					if math.Abs(lu-edge) < tol {
+						return true
+					}
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAShiftAddExact(t *testing.T) {
+	// (3*cur + past) / 4 with cur=1.0, past=0: 0.75 exactly.
+	got := EWMAShiftAdd(FixedOne, 0, 3)
+	if got.Float() != 0.75 {
+		t.Errorf("shift-add EWMA = %g, want 0.75", got.Float())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EWMAShiftAdd should panic for W != 3")
+		}
+	}()
+	EWMAShiftAdd(0, 0, 2)
+}
+
+func TestAdaptiveThresholdsWalksTable2(t *testing.T) {
+	a, err := NewAdaptiveThresholds(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Setting().Name != "III" {
+		t.Fatalf("initial setting = %s, want III", a.Setting().Name)
+	}
+	// Sustained calm traffic (no raises, empty buffers) promotes toward VI.
+	for i := 0; i < 200; i++ {
+		a.Decide(Measures{LinkUtil: 0.1, BufUtil: 0.01})
+	}
+	if a.Setting().Name != "VI" {
+		t.Errorf("after calm traffic: setting = %s, want VI", a.Setting().Name)
+	}
+	// Consecutive raises (demand outrunning the band) back it off.
+	for i := 0; i < 20; i++ {
+		a.Decide(Measures{LinkUtil: 0.95, BufUtil: 0.05})
+	}
+	if a.Setting().Name != "I" {
+		t.Errorf("after raise pressure: setting = %s, want I", a.Setting().Name)
+	}
+	// Buffer pressure alone also backs it off.
+	b, _ := NewAdaptiveThresholds(DefaultParams())
+	for i := 0; i < 10; i++ {
+		b.Decide(Measures{LinkUtil: 0.35, BufUtil: 0.45})
+	}
+	if b.Setting().Name != "I" {
+		t.Errorf("after buffer pressure: setting = %s, want I", b.Setting().Name)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Lower.String() != "lower" || Hold.String() != "hold" || Raise.String() != "raise" {
+		t.Error("Decision.String mismatch")
+	}
+}

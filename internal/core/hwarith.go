@@ -1,0 +1,76 @@
+package core
+
+// This file models the bit-exact arithmetic of the paper's hardware
+// implementation (Section 3.3, Figure 6): per-port counters feed a
+// shift-and-add exponential weighted average (W = 3 turns the division by
+// W+1 into a right shift by 2), and plain comparators implement the
+// threshold checks. It exists to demonstrate that the policy's floating-
+// point form and its 500-gate fixed-point form make the same decisions.
+
+// FixedBits is the fraction width of the hardware's utilization registers.
+// Twelve bits comfortably covers H = 200 samples per window.
+const FixedBits = 12
+
+// Fixed is an unsigned fixed-point utilization in [0, 1] with FixedBits
+// fraction bits.
+type Fixed uint32
+
+// FixedOne is 1.0 in fixed point.
+const FixedOne Fixed = 1 << FixedBits
+
+// ToFixed quantizes a utilization to hardware precision, saturating at 1.
+func ToFixed(u float64) Fixed {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return FixedOne
+	}
+	return Fixed(u*float64(FixedOne) + 0.5)
+}
+
+// Float reports the fixed-point value as a float64.
+func (f Fixed) Float() float64 { return float64(f) / float64(FixedOne) }
+
+// EWMAShiftAdd computes (W*cur + past) / (W+1) the way the synthesized
+// circuit does for W = 3: (cur<<1 + cur + past) >> 2. It panics for other
+// weights, mirroring the hardware's fixed wiring.
+func EWMAShiftAdd(cur, past Fixed, w int) Fixed {
+	if w != 3 {
+		panic("core: the paper's shift-add EWMA is wired for W = 3")
+	}
+	return (cur<<1 + cur + past) >> 2
+}
+
+// HWHistoryDVS is HistoryDVS re-expressed in the hardware's fixed-point
+// arithmetic. It exists for validation; simulations use HistoryDVS.
+type HWHistoryDVS struct {
+	P Params
+
+	luPast, buPast Fixed
+}
+
+// Name implements Policy.
+func (h *HWHistoryDVS) Name() string { return "history-dvs-hw" }
+
+// Decide implements Policy with shift-add arithmetic and comparator
+// thresholds quantized to register precision.
+func (h *HWHistoryDVS) Decide(m Measures) Decision {
+	luPred := EWMAShiftAdd(ToFixed(m.LinkUtil), h.luPast, h.P.W)
+	h.luPast = luPred
+	buPred := EWMAShiftAdd(ToFixed(m.BufUtil), h.buPast, h.P.W)
+	h.buPast = buPred
+
+	tLow, tHigh := ToFixed(h.P.TLLow), ToFixed(h.P.TLHigh)
+	if buPred >= ToFixed(h.P.BCongested) {
+		tLow, tHigh = ToFixed(h.P.THLow), ToFixed(h.P.THHigh)
+	}
+	switch {
+	case luPred < tLow:
+		return Lower
+	case luPred > tHigh:
+		return Raise
+	default:
+		return Hold
+	}
+}

@@ -1,0 +1,286 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation (Section 4), each regenerating the same rows or
+// series the paper reports, on scaled cycle budgets.
+//
+// Experiments are selected by id ("fig10", "tab1", ...); List enumerates
+// them. Each returns text tables that cmd/figures prints and that the
+// benchmark harness consumes.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Options scale an experiment run.
+type Options struct {
+	// Quick shrinks cycle budgets for laptop-speed smoke runs; Full raises
+	// them to the paper's 10M-cycle setting. Default is a minutes-scale
+	// middle ground.
+	Quick, Full bool
+	// Seed selects the deterministic random stream family.
+	Seed uint64
+}
+
+// budget reports (warmup, measure) cycles for the options.
+func (o Options) budget() (warm, meas int64) {
+	switch {
+	case o.Full:
+		return 1_000_000, 10_000_000
+	case o.Quick:
+		return 40_000, 40_000
+	default:
+		return 80_000, 150_000
+	}
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Table is one printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the paper-vs-measured commentary printed under the table.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner regenerates one experiment.
+type Runner func(o Options) []Table
+
+// registry maps experiment ids to runners; populated by init functions in
+// the per-figure files.
+var registry = map[string]Runner{}
+
+// describe maps ids to one-line descriptions.
+var describe = map[string]string{}
+
+func register(id, desc string, r Runner) {
+	registry[id] = r
+	describe[id] = desc
+}
+
+// List reports registered experiment ids in sorted order with descriptions.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = fmt.Sprintf("%-10s %s", id, describe[id])
+	}
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) ([]Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (use one of: %s)",
+			id, strings.Join(ids(), ", "))
+	}
+	return r(o), nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spec describes one simulation run of the paper's platform. All fields
+// participate in the run cache key, so experiments sharing an operating
+// point simulate once per process.
+type spec struct {
+	policy   network.PolicyKind
+	rate     float64
+	tasks    int
+	taskDur  sim.Duration
+	voltTran sim.Duration
+	freqTran int // link cycles
+	routing  string
+	seed     uint64
+
+	// Optional policy-parameter overrides (zero means Table 1 defaults).
+	tlLow, tlHigh float64
+	dvsH, dvsW    int
+
+	// Optional platform overrides (zero means the paper's 8x8 mesh with
+	// ten-level links).
+	levels int
+	k, n   int
+	torus  bool
+}
+
+func defaultSpec(rate float64, policy network.PolicyKind) spec {
+	return spec{
+		policy:   policy,
+		rate:     rate,
+		tasks:    100,
+		taskDur:  sim.Millisecond,
+		voltTran: 10 * sim.Microsecond,
+		freqTran: 100,
+		routing:  "dor",
+	}
+}
+
+// build constructs the network and traffic model for a spec.
+func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
+	cfg := network.NewConfig()
+	cfg.Policy = s.policy
+	cfg.Routing = s.routing
+	cfg.Link.VoltTransition = s.voltTran
+	cfg.Link.FreqTransitionCycles = s.freqTran
+	if s.tlLow != 0 || s.tlHigh != 0 {
+		cfg.DVS.TLLow, cfg.DVS.TLHigh = s.tlLow, s.tlHigh
+	}
+	if s.dvsH != 0 {
+		cfg.DVS.H = s.dvsH
+	}
+	if s.dvsW != 0 {
+		cfg.DVS.W = s.dvsW
+	}
+	if s.levels != 0 {
+		cfg.Link.Levels = s.levels
+	}
+	if s.k != 0 {
+		cfg.K = s.k
+	}
+	if s.n != 0 {
+		cfg.N = s.n
+		cfg.Router.Ports = 1 + 2*s.n
+	}
+	cfg.Torus = s.torus
+	n, err := network.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	p := traffic.NewTwoLevelParams(s.rate)
+	p.AvgTasks = s.tasks
+	p.AvgTaskDuration = s.taskDur
+	p.Seed = s.seed
+	if p.Seed == 0 {
+		p.Seed = o.seed()
+	}
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		panic(err)
+	}
+	return n, m
+}
+
+// runCache memoizes runs so experiments that share configurations — fig10
+// and headline, for example — simulate once per process.
+var runCache = map[string]network.Results{}
+
+// run executes warmup + measurement and returns the results.
+func run(s spec, o Options) network.Results {
+	key := fmt.Sprintf("%v|%v|%v|%+v", o.Quick, o.Full, o.Seed, s)
+	if got, ok := runCache[key]; ok {
+		return got
+	}
+	warm, meas := o.budget()
+	n, m := s.build(o)
+	horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+	n.Launch(m, horizon)
+	n.Run(warm)
+	n.BeginMeasurement()
+	n.Run(meas)
+	r := n.Snapshot()
+	runCache[key] = r
+	return r
+}
+
+// Point runs the paper's platform at one two-level-workload operating
+// point: programmatic access for benchmarks and downstream tooling.
+func Point(rate float64, policy network.PolicyKind, o Options) network.Results {
+	return run(defaultSpec(rate, policy), o)
+}
+
+// f formats a float compactly.
+func f(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// FprintCSV renders the table as RFC-4180-ish CSV (title and notes as
+// comment lines), for piping into plotting tools.
+func (t *Table) FprintCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	write(t.Header)
+	for _, row := range t.Rows {
+		write(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

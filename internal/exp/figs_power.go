@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/orion"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func init() {
+	register("fig7", "router power consumption distribution", runFig7)
+}
+
+// runFig7 regenerates the router power breakdown (a static
+// characterization: the paper synthesized its router to a TSMC 0.25 um
+// netlist; we encode the published distribution against the link model).
+func runFig7(Options) []Table {
+	table := link.MustTable(link.NewParams())
+	b := power.RouterBreakdown(table, 4)
+	t := Table{
+		Title:  "Figure 7: router power consumption distribution (4 ports at full speed)",
+		Header: []string{"component", "watts", "share"},
+	}
+	for _, e := range b {
+		t.AddRow(e.Component, f(e.Watts, 3), fmt.Sprintf("%.1f%%", 100*power.Fraction(b, e.Component)))
+	}
+	t.AddRow("total", f(power.Total(b), 3), "100.0%")
+	t.Notes = []string{
+		"paper: 82.4% of router power in link circuitry; allocators 81 mW",
+		"full-bandwidth 8x8 mesh network: 64 routers * 4 ports * 8 links * 0.2 W = 409.6 W",
+	}
+	return []Table{t}
+}
+
+func init() {
+	register("orion", "Orion-style bottom-up router energies vs Fig. 7 calibration", runOrion)
+	register("noise", "Section 2 noise margin: BER vs level, jitter budget", runNoise)
+}
+
+// runOrion compares the two independent router-core energy estimates: the
+// bottom-up Orion-style capacitance model and the top-down calibration of
+// the paper's Figure 7 breakdown.
+func runOrion(Options) []Table {
+	tech := orion.TSMC250()
+	r := orion.Router{Ports: 5, VCs: 2, BufPerPort: 128, FlitBits: 32}
+	buf, xbar, arb := r.Components()
+	table := link.MustTable(link.NewParams())
+	calib := power.NewRouterEnergyModel(table, 4, sim.Nanosecond)
+
+	t := Table{
+		Title:  "Router-core per-event energy: Orion-style bottom-up vs Figure 7 top-down",
+		Header: []string{"event", "orion (pJ)", "calibrated (pJ)", "ratio"},
+	}
+	row := func(name string, a, b float64) {
+		t.AddRow(name, f(a*1e12, 1), f(b*1e12, 1), f(a/b, 2))
+	}
+	row("buffer write", buf.WriteEnergyJ(tech), calib.BufWriteJ)
+	row("buffer read", buf.ReadEnergyJ(tech), calib.BufReadJ)
+	row("crossbar traversal", xbar.TraversalEnergyJ(tech), calib.CrossbarJ)
+	row("arbiter grant", arb.GrantEnergyJ(tech), calib.ArbGrantJ)
+	t.Notes = []string{
+		"independent estimates agree within small factors — the accuracy Orion",
+		"(the paper's power-modeling substrate, ref [28]) claims vs circuit simulation",
+	}
+	return []Table{t}
+}
+
+// runNoise evaluates the Section 2 noise-margin assumption: BER per level
+// under a Gaussian-jitter model, and the jitter budget that keeps the
+// whole range at the paper's 1e-15.
+func runNoise(Options) []Table {
+	table := link.MustTable(link.NewParams())
+	t := Table{
+		Title:  "Section 2 noise margin: estimated BER per level (40 ps RMS jitter)",
+		Header: []string{"level", "freq (MHz)", "volt (V)", "BER"},
+	}
+	n := link.NoiseModel{JitterRMSPs: 40}
+	for lvl := 0; lvl < table.Params.Levels; lvl++ {
+		t.AddRow(fmt.Sprint(lvl), f(table.FreqHz[lvl]/1e6, 0), f(table.Volt[lvl], 2),
+			fmt.Sprintf("%.1e", n.BERAt(table, lvl)))
+	}
+	t.Notes = []string{
+		fmt.Sprintf("jitter budget for 1e-15 across the range: %.0f ps RMS", link.MaxJitterPsFor(table, 1e-15)),
+		"paper: current links hold 1e-15 BER over 0.9-2.5 V / the full frequency range,",
+		"and frequency reduction improves reliability — the model reproduces both",
+	}
+	return []Table{t}
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Figures 16 and 17 explore DVS links with varying transition rates
+// (Section 4.4.3): voltage transition delay in [1 us, 10 us], frequency
+// transition delay in [10, 100] link cycles, against workloads of 1 ms and
+// 10 us average task duration. Faster transitions track bursty traffic
+// better, trading less latency and throughput for the same policy.
+
+var transitionRates = []float64{1.0, 2.0, 3.0, 4.0}
+
+func init() {
+	register("fig16", "network performance with varying voltage transition delay", runFig16)
+	register("fig17", "network performance with varying frequency transition delay", runFig17)
+}
+
+// transitionTable sweeps one transition parameter at fixed workload.
+func transitionTable(o Options, title string, cols []string, mk func(col int, rate float64) spec) Table {
+	t := Table{Title: title}
+	t.Header = append([]string{"rate"}, cols...)
+	for _, rate := range transitionRates {
+		row := []string{f(rate, 2)}
+		for c := range cols {
+			r := run(mk(c, rate), o)
+			row = append(row, fmt.Sprintf("%s/%s", f(r.MeanLatency, 0), f(r.ThroughputPkts, 2)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = []string{"cells are latency(cycles)/throughput(pkts/cycle)"}
+	return t
+}
+
+func runFig16(o Options) []Table {
+	voltDelays := []sim.Duration{10 * sim.Microsecond, 5 * sim.Microsecond, 1 * sim.Microsecond}
+	cols := []string{"Vtran=10us", "Vtran=5us", "Vtran=1us"}
+	sub := func(label string, taskDur sim.Duration, freqTran int) Table {
+		return transitionTable(o,
+			fmt.Sprintf("Figure 16%s: task duration %v, frequency transition %d cycles",
+				label, taskDur, freqTran),
+			cols,
+			func(c int, rate float64) spec {
+				s := defaultSpec(rate, network.PolicyHistory)
+				s.taskDur = taskDur
+				s.voltTran = voltDelays[c]
+				s.freqTran = freqTran
+				return s
+			})
+	}
+	a := sub("(a)", sim.Millisecond, 100)
+	b := sub("(b)", 10*sim.Microsecond, 100)
+	c := sub("(c)", sim.Millisecond, 10)
+	d := sub("(d)", 10*sim.Microsecond, 10)
+	b.Notes = append(b.Notes,
+		"paper shape: short tasks + slow voltage transitions hurt throughput most")
+	a.Notes = append(a.Notes,
+		"paper: with slow 100-cycle locks, faster voltage transitions can RAISE latency",
+		"(more frequent transitions mean more dead re-lock windows)")
+	return []Table{a, b, c, d}
+}
+
+func runFig17(o Options) []Table {
+	freqDelays := []int{100, 50, 10}
+	cols := []string{"Ftran=100cyc", "Ftran=50cyc", "Ftran=10cyc"}
+	sub := func(label string, taskDur sim.Duration, voltTran sim.Duration) Table {
+		return transitionTable(o,
+			fmt.Sprintf("Figure 17%s: task duration %v, voltage transition %v",
+				label, taskDur, voltTran),
+			cols,
+			func(c int, rate float64) spec {
+				s := defaultSpec(rate, network.PolicyHistory)
+				s.taskDur = taskDur
+				s.voltTran = voltTran
+				s.freqTran = freqDelays[c]
+				return s
+			})
+	}
+	a := sub("(a)", sim.Millisecond, 10*sim.Microsecond)
+	b := sub("(b)", 10*sim.Microsecond, 10*sim.Microsecond)
+	c := sub("(c)", sim.Millisecond, 1*sim.Microsecond)
+	d := sub("(d)", 10*sim.Microsecond, 1*sim.Microsecond)
+	b.Notes = append(b.Notes,
+		"paper shape: short tasks respond slowly to transitions, degrading throughput")
+	return []Table{a, b, c, d}
+}

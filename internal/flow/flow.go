@@ -1,0 +1,119 @@
+// Package flow defines the units of network transfer — packets, flits and
+// credits — shared by routers, links and traffic generators.
+//
+// Following the paper's setup, packets are fixed-length: one head flit
+// leading four body flits (the last body flit doubles as the tail), each
+// flit 32 bits wide.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FlitsPerPacket is the paper's fixed packet length in flits.
+const FlitsPerPacket = 5
+
+// FlitBits is the width of a flit in bits.
+const FlitBits = 32
+
+// Kind distinguishes flit roles inside a packet.
+type Kind uint8
+
+const (
+	// Head flits carry routing information and trigger route computation
+	// and VC allocation in the router pipeline.
+	Head Kind = iota
+	// Body flits follow the head on its allocated VC.
+	Body
+	// Tail flits release the VC when they depart.
+	Tail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Packet is the unit of end-to-end transfer. Latency spans the creation of
+// the first flit to ejection of the last flit at the destination, including
+// source queuing (paper §4.2).
+type Packet struct {
+	ID      int64
+	Src     int // source node index
+	Dst     int // destination node index
+	Created sim.Time
+	// Injected is when the head flit left the source queue and entered the
+	// router; it is recorded by the network layer for queuing statistics.
+	Injected sim.Time
+	// Delivered is when the tail flit was ejected at the destination.
+	Delivered sim.Time
+	// Task identifies which level-1 communication task session produced the
+	// packet (-1 for synthetic generators with no session structure).
+	Task int64
+
+	// LastDim and Wrapped carry the packet's dateline routing state between
+	// hops (see internal/routing.State): the dimension of the previous hop
+	// (-1 before the first) and whether the packet crossed that dimension's
+	// wraparound channel. Only meaningful on tori.
+	LastDim int
+	Wrapped bool
+}
+
+// NewPacket returns a packet with initialized routing state.
+func NewPacket(id int64, src, dst int, created sim.Time, task int64) *Packet {
+	return &Packet{ID: id, Src: src, Dst: dst, Created: created, Task: task, LastDim: -1}
+}
+
+// Latency reports the packet's full latency; it is only meaningful once
+// Delivered has been set.
+func (p *Packet) Latency() sim.Duration { return p.Delivered - p.Created }
+
+// Flit is the unit of flow control and link transfer.
+type Flit struct {
+	Packet *Packet
+	Kind   Kind
+	Seq    int // position within packet, 0-based
+
+	// VC is the virtual channel the flit currently occupies; it is
+	// rewritten at each hop when the head flit wins VC allocation.
+	VC int
+}
+
+// NewPacketFlits constructs the flit train for a packet: a head, three
+// bodies, and a tail.
+func NewPacketFlits(p *Packet) []*Flit {
+	flits := make([]*Flit, FlitsPerPacket)
+	for i := range flits {
+		k := Body
+		switch i {
+		case 0:
+			k = Head
+		case FlitsPerPacket - 1:
+			k = Tail
+		}
+		flits[i] = &Flit{Packet: p, Kind: k, Seq: i}
+	}
+	return flits
+}
+
+func (f *Flit) String() string {
+	return fmt.Sprintf("%s flit %d/%d of pkt %d (%d->%d)",
+		f.Kind, f.Seq+1, FlitsPerPacket, f.Packet.ID, f.Packet.Src, f.Packet.Dst)
+}
+
+// Credit is the backpressure token of credit-based flow control: one credit
+// returns one flit buffer slot on the given VC of the upstream router's
+// output.
+type Credit struct {
+	VC int
+}

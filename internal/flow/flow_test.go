@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestNewPacketFlits(t *testing.T) {
+	p := NewPacket(42, 3, 9, 100*sim.Nanosecond, 7)
+	flits := NewPacketFlits(p)
+	if len(flits) != FlitsPerPacket {
+		t.Fatalf("flits = %d, want %d", len(flits), FlitsPerPacket)
+	}
+	if flits[0].Kind != Head {
+		t.Error("first flit not head")
+	}
+	if flits[len(flits)-1].Kind != Tail {
+		t.Error("last flit not tail")
+	}
+	for i, f := range flits[1 : len(flits)-1] {
+		if f.Kind != Body {
+			t.Errorf("middle flit %d is %v", i+1, f.Kind)
+		}
+	}
+	for i, f := range flits {
+		if f.Seq != i || f.Packet != p {
+			t.Errorf("flit %d: seq=%d packet=%p", i, f.Seq, f.Packet)
+		}
+	}
+}
+
+func TestPacketRoutingStateInitialized(t *testing.T) {
+	p := NewPacket(1, 0, 5, 0, -1)
+	if p.LastDim != -1 || p.Wrapped {
+		t.Errorf("fresh packet routing state = (%d, %v), want (-1, false)", p.LastDim, p.Wrapped)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p := NewPacket(1, 0, 1, 100, -1)
+	p.Delivered = 450
+	if p.Latency() != 350 {
+		t.Errorf("latency = %d, want 350", p.Latency())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Head.String() != "head" || Body.String() != "body" || Tail.String() != "tail" {
+		t.Error("kind strings wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should include numeric value")
+	}
+}
+
+func TestFlitString(t *testing.T) {
+	p := NewPacket(5, 2, 7, 0, -1)
+	f := NewPacketFlits(p)[0]
+	s := f.String()
+	for _, want := range []string{"head", "pkt 5", "2->7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("flit string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPacketIDsPreserved(t *testing.T) {
+	f := func(id int64, src, dst uint8) bool {
+		p := NewPacket(id, int(src), int(dst), 0, -1)
+		flits := NewPacketFlits(p)
+		for _, fl := range flits {
+			if fl.Packet.ID != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package link models the paper's DVS communication links (Section 2): a
+// network channel of eight serial links fed by one adaptive power-supply
+// regulator, supporting ten discrete frequency/voltage levels.
+//
+// The model captures the four DVS-link characteristics the paper names:
+//
+//   - transition time: voltage transitions between adjacent levels take
+//     VoltTransition (10 us by default); frequency transitions take
+//     FreqTransitionCycles link clock cycles (100 by default);
+//   - transition energy: the Stratakos first-order estimate
+//     (1-eta) * C * |V2^2 - V1^2| per voltage transition;
+//   - transition status: the link keeps functioning during voltage
+//     transitions but is dead while the receiver re-locks during frequency
+//     transitions;
+//   - transition step: only adjacent-level steps are supported, and when
+//     speeding up the voltage rises before the frequency, while when
+//     slowing down the frequency drops before the voltage.
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes a DVS link design. NewParams fills in the paper's
+// values; zero values are rejected by Table.
+type Params struct {
+	// Levels is the number of discrete frequency/voltage operating points.
+	Levels int
+	// MinFreqHz and MaxFreqHz bound the per-serial-link clock (levels are
+	// uniformly spaced in frequency between them).
+	MinFreqHz, MaxFreqHz float64
+	// MinVolt and MaxVolt bound the supply voltage (uniformly spaced).
+	MinVolt, MaxVolt float64
+	// MinPowerW and MaxPowerW are per-serial-link power at the two corner
+	// operating points; the intermediate levels follow the fitted model
+	// P(V,f) = a*V^2*f + b*V that passes through both corners.
+	MinPowerW, MaxPowerW float64
+	// SerialLinks is the number of serial links sharing the channel and its
+	// regulator (the paper's channels have eight).
+	SerialLinks int
+	// VoltTransition is the wall-clock duration of an adjacent-level
+	// voltage transition.
+	VoltTransition sim.Duration
+	// FreqTransitionCycles is the duration of an adjacent-level frequency
+	// transition in cycles of the target link clock; the link is dead
+	// (receiver re-locking) throughout.
+	FreqTransitionCycles int
+	// RegulatorCapF and RegulatorEff parameterize the Stratakos transition
+	// energy: (1-RegulatorEff) * RegulatorCapF * |V2^2 - V1^2|.
+	RegulatorCapF, RegulatorEff float64
+}
+
+// NewParams returns the paper's link design: ten levels, 125 MHz/0.9 V/
+// 23.6 mW to 1 GHz/2.5 V/200 mW per serial link, eight serial links per
+// channel, 10 us voltage transitions, 100-cycle frequency transitions,
+// 5 uF regulator capacitance at 90% efficiency.
+func NewParams() Params {
+	return Params{
+		Levels:               10,
+		MinFreqHz:            125e6,
+		MaxFreqHz:            1e9,
+		MinVolt:              0.9,
+		MaxVolt:              2.5,
+		MinPowerW:            0.0236,
+		MaxPowerW:            0.200,
+		SerialLinks:          8,
+		VoltTransition:       10 * sim.Microsecond,
+		FreqTransitionCycles: 100,
+		RegulatorCapF:        5e-6,
+		RegulatorEff:         0.9,
+	}
+}
+
+// Table is the precomputed level table shared by every link in a network:
+// frequency, voltage, clock period and channel power per level. Level 0 is
+// the slowest and cheapest; level Levels-1 the fastest.
+type Table struct {
+	Params Params
+	FreqHz []float64
+	Volt   []float64
+	Period []sim.Duration // per-link clock period; also flit serialization time
+	PowerW []float64      // whole-channel power (SerialLinks * per-link)
+	capA   float64        // fitted effective switched capacitance (F)
+	biasB  float64        // fitted static/bias term (W per volt)
+}
+
+// NewTable validates p and derives the level table.
+func NewTable(p Params) (*Table, error) {
+	switch {
+	case p.Levels < 2:
+		return nil, fmt.Errorf("link: need >= 2 levels, got %d", p.Levels)
+	case p.MinFreqHz <= 0 || p.MaxFreqHz <= p.MinFreqHz:
+		return nil, fmt.Errorf("link: invalid frequency range [%g, %g]", p.MinFreqHz, p.MaxFreqHz)
+	case p.MinVolt <= 0 || p.MaxVolt <= p.MinVolt:
+		return nil, fmt.Errorf("link: invalid voltage range [%g, %g]", p.MinVolt, p.MaxVolt)
+	case p.MinPowerW <= 0 || p.MaxPowerW <= p.MinPowerW:
+		return nil, fmt.Errorf("link: invalid power range [%g, %g]", p.MinPowerW, p.MaxPowerW)
+	case p.SerialLinks < 1:
+		return nil, fmt.Errorf("link: need >= 1 serial link, got %d", p.SerialLinks)
+	case p.VoltTransition < 0 || p.FreqTransitionCycles < 0:
+		return nil, fmt.Errorf("link: negative transition latency")
+	case p.RegulatorEff < 0 || p.RegulatorEff > 1:
+		return nil, fmt.Errorf("link: regulator efficiency %g outside [0,1]", p.RegulatorEff)
+	}
+	t := &Table{
+		Params: p,
+		FreqHz: make([]float64, p.Levels),
+		Volt:   make([]float64, p.Levels),
+		Period: make([]sim.Duration, p.Levels),
+		PowerW: make([]float64, p.Levels),
+	}
+	// Fit P(V,f) = a*V^2*f + b*V through the two published corner points.
+	// The b*V term models the bias/static current of the transmitter,
+	// receiver and clock-recovery circuits, which dominates at the low
+	// corner (23.6 mW at 125 MHz is far above pure CV^2f scaling).
+	d := p.MinVolt*p.MinVolt*p.MinFreqHz*p.MaxVolt - p.MaxVolt*p.MaxVolt*p.MaxFreqHz*p.MinVolt
+	t.capA = (p.MinPowerW*p.MaxVolt - p.MaxPowerW*p.MinVolt) / d
+	t.biasB = (p.MinPowerW - t.capA*p.MinVolt*p.MinVolt*p.MinFreqHz) / p.MinVolt
+
+	steps := float64(p.Levels - 1)
+	for i := 0; i < p.Levels; i++ {
+		frac := float64(i) / steps
+		t.FreqHz[i] = p.MinFreqHz + frac*(p.MaxFreqHz-p.MinFreqHz)
+		t.Volt[i] = p.MinVolt + frac*(p.MaxVolt-p.MinVolt)
+		t.Period[i] = sim.Time(1e12/t.FreqHz[i] + 0.5)
+		t.PowerW[i] = float64(p.SerialLinks) * t.powerAt(t.Volt[i], t.FreqHz[i])
+	}
+	return t, nil
+}
+
+// MustTable is NewTable for known-good parameters; it panics on error.
+func MustTable(p Params) *Table {
+	t, err := NewTable(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// powerAt evaluates the fitted per-serial-link power model.
+func (t *Table) powerAt(volt, freqHz float64) float64 {
+	return t.capA*volt*volt*freqHz + t.biasB*volt
+}
+
+// ChannelPowerAt reports whole-channel power at an arbitrary operating
+// point (used during transitions when voltage and frequency belong to
+// different levels).
+func (t *Table) ChannelPowerAt(volt, freqHz float64) float64 {
+	return float64(t.Params.SerialLinks) * t.powerAt(volt, freqHz)
+}
+
+// TransitionEnergyJ reports the regulator energy overhead of a voltage
+// transition between two levels (Stratakos estimate, paper Eq. 1).
+func (t *Table) TransitionEnergyJ(from, to int) float64 {
+	v1, v2 := t.Volt[from], t.Volt[to]
+	d := v2*v2 - v1*v1
+	if d < 0 {
+		d = -d
+	}
+	return (1 - t.Params.RegulatorEff) * t.Params.RegulatorCapF * d
+}
+
+// Top reports the fastest level index.
+func (t *Table) Top() int { return t.Params.Levels - 1 }

@@ -1,0 +1,437 @@
+package link
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func paperTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable(NewParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableEndpointsMatchPaper(t *testing.T) {
+	tab := paperTable(t)
+	p := tab.Params
+	// Corner frequencies and voltages.
+	if tab.FreqHz[0] != 125e6 || tab.FreqHz[tab.Top()] != 1e9 {
+		t.Errorf("frequency corners = %g, %g", tab.FreqHz[0], tab.FreqHz[tab.Top()])
+	}
+	if tab.Volt[0] != 0.9 || tab.Volt[tab.Top()] != 2.5 {
+		t.Errorf("voltage corners = %g, %g", tab.Volt[0], tab.Volt[tab.Top()])
+	}
+	// Per-serial-link corner powers must reproduce 23.6 mW and 200 mW.
+	perLink0 := tab.PowerW[0] / float64(p.SerialLinks)
+	perLinkTop := tab.PowerW[tab.Top()] / float64(p.SerialLinks)
+	if math.Abs(perLink0-0.0236) > 1e-9 {
+		t.Errorf("bottom per-link power = %g W, want 0.0236", perLink0)
+	}
+	if math.Abs(perLinkTop-0.200) > 1e-9 {
+		t.Errorf("top per-link power = %g W, want 0.200", perLinkTop)
+	}
+	// Channel at top level: 8 * 200 mW = 1.6 W (paper's 0.2 W * 8 links).
+	if math.Abs(tab.PowerW[tab.Top()]-1.6) > 1e-9 {
+		t.Errorf("top channel power = %g W, want 1.6", tab.PowerW[tab.Top()])
+	}
+}
+
+func TestTableMonotone(t *testing.T) {
+	tab := paperTable(t)
+	for i := 1; i < tab.Params.Levels; i++ {
+		if tab.FreqHz[i] <= tab.FreqHz[i-1] {
+			t.Errorf("frequency not increasing at level %d", i)
+		}
+		if tab.Volt[i] <= tab.Volt[i-1] {
+			t.Errorf("voltage not increasing at level %d", i)
+		}
+		if tab.PowerW[i] <= tab.PowerW[i-1] {
+			t.Errorf("power not increasing at level %d", i)
+		}
+		if tab.Period[i] >= tab.Period[i-1] {
+			t.Errorf("period not decreasing at level %d", i)
+		}
+	}
+	// The whole point of DVS: top/bottom power ratio is large (paper cites
+	// a potential ~10X improvement from 197/21 mW on the prototype; our
+	// fitted corners give 200/23.6 = 8.5X).
+	ratio := tab.PowerW[tab.Top()] / tab.PowerW[0]
+	if ratio < 8 || ratio > 9 {
+		t.Errorf("power dynamic range = %.2fX, want ~8.5X", ratio)
+	}
+}
+
+func TestPeriods(t *testing.T) {
+	tab := paperTable(t)
+	if tab.Period[tab.Top()] != sim.Nanosecond {
+		t.Errorf("top period = %v, want 1ns", tab.Period[tab.Top()])
+	}
+	if tab.Period[0] != 8*sim.Nanosecond {
+		t.Errorf("bottom period = %v, want 8ns", tab.Period[0])
+	}
+}
+
+func TestTransitionEnergy(t *testing.T) {
+	tab := paperTable(t)
+	// Full-swing sanity: (1-0.9) * 5uF * (2.5^2 - 0.9^2) = 2.72 uJ.
+	got := tab.TransitionEnergyJ(0, tab.Top())
+	want := 0.1 * 5e-6 * (2.5*2.5 - 0.9*0.9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("full-swing transition energy = %g, want %g", got, want)
+	}
+	// Symmetric in direction.
+	if tab.TransitionEnergyJ(3, 4) != tab.TransitionEnergyJ(4, 3) {
+		t.Error("transition energy not symmetric")
+	}
+}
+
+func TestNewTableRejectsBadParams(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Levels = 1 },
+		func(p *Params) { p.MinFreqHz = 0 },
+		func(p *Params) { p.MaxFreqHz = p.MinFreqHz },
+		func(p *Params) { p.MinVolt = -1 },
+		func(p *Params) { p.MaxPowerW = p.MinPowerW / 2 },
+		func(p *Params) { p.SerialLinks = 0 },
+		func(p *Params) { p.VoltTransition = -1 },
+		func(p *Params) { p.RegulatorEff = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := NewParams()
+		mutate(&p)
+		if _, err := NewTable(p); err == nil {
+			t.Errorf("case %d: NewTable accepted invalid params", i)
+		}
+	}
+}
+
+func TestSendSerialization(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 0) // 125 MHz: 8 ns per flit
+	if !l.CanSend(0) {
+		t.Fatal("idle link refuses send")
+	}
+	if d := l.Send(0); d != 8*sim.Nanosecond {
+		t.Errorf("serialization = %v, want 8ns", d)
+	}
+	if l.CanSend(7 * sim.Nanosecond) {
+		t.Error("link available while flit still serializing")
+	}
+	if !l.CanSend(8 * sim.Nanosecond) {
+		t.Error("link not available after serialization")
+	}
+}
+
+func TestUtilizationWindow(t *testing.T) {
+	var sched sim.Scheduler
+	l := NewDVSLink(paperTable(t), &sched, 9) // 1 GHz
+	for i := sim.Time(0); i < 10; i++ {
+		l.Send(i * sim.Nanosecond)
+	}
+	if got, dead := l.TakeUtilization(10 * sim.Nanosecond); got != 10*sim.Nanosecond || dead != 0 {
+		t.Errorf("window busy = %v dead = %v, want 10ns, 0", got, dead)
+	}
+	if got, _ := l.TakeUtilization(10 * sim.Nanosecond); got != 0 {
+		t.Errorf("window not reset: %v", got)
+	}
+}
+
+func TestUpTransitionSequence(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 0)
+	if !l.RequestStep(0, true) {
+		t.Fatal("up step refused")
+	}
+	// Voltage ramps first: link functional, old frequency, for 10 us.
+	if l.State() != VoltRamping {
+		t.Fatalf("state = %v, want volt-ramping", l.State())
+	}
+	if !l.CanSend(0) {
+		t.Error("link should function during voltage ramp")
+	}
+	if l.Level() != 0 {
+		t.Error("frequency changed before voltage ramp finished")
+	}
+	// Run to just past the voltage ramp: frequency lock begins, link dead.
+	sched.RunUntil(10*sim.Microsecond + 1)
+	if l.State() != FreqLocking {
+		t.Fatalf("state after ramp = %v, want freq-locking", l.State())
+	}
+	if l.CanSend(sched.Now()) {
+		t.Error("link should be dead during frequency lock")
+	}
+	// Lock takes 100 cycles of the target clock (level 1 ~ 222 MHz).
+	lockDur := 100 * tab.Period[1]
+	sched.RunUntil(10*sim.Microsecond + lockDur + 1)
+	if l.State() != Functional || l.Level() != 1 {
+		t.Fatalf("after lock: state=%v level=%d, want functional level 1", l.State(), l.Level())
+	}
+	if !l.CanSend(sched.Now()) {
+		t.Error("link dead after completed transition")
+	}
+}
+
+func TestDownTransitionSequence(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 9)
+	if !l.RequestStep(0, false) {
+		t.Fatal("down step refused")
+	}
+	// Frequency drops first: link dead while locking at the new frequency.
+	if l.State() != FreqLocking {
+		t.Fatalf("state = %v, want freq-locking", l.State())
+	}
+	lockDur := 100 * tab.Period[8]
+	sched.RunUntil(lockDur + 1)
+	// Now voltage ramps down; the link functions at the new frequency.
+	if l.State() != VoltRamping || l.Level() != 8 {
+		t.Fatalf("after lock: state=%v level=%d, want volt-ramping level 8", l.State(), l.Level())
+	}
+	if !l.CanSend(sched.Now()) {
+		t.Error("link should function during downward voltage ramp")
+	}
+	sched.RunUntil(lockDur + 10*sim.Microsecond + 1)
+	if l.State() != Functional || l.Level() != 8 {
+		t.Fatalf("final: state=%v level=%d", l.State(), l.Level())
+	}
+}
+
+func TestTransitionRefusals(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 0)
+	if l.RequestStep(0, false) {
+		t.Error("down step below bottom level accepted")
+	}
+	top := NewDVSLink(tab, &sched, tab.Top())
+	if top.RequestStep(0, true) {
+		t.Error("up step above top level accepted")
+	}
+	l.RequestStep(0, true)
+	if l.RequestStep(1, true) {
+		t.Error("second step accepted while transition in flight")
+	}
+}
+
+func TestEnergyAccrual(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, tab.Top())
+	// 1 ms at 1.6 W = 1.6 mJ.
+	got := l.EnergyJ(sim.Millisecond)
+	if math.Abs(got-1.6e-3) > 1e-9 {
+		t.Errorf("energy over 1ms at top = %g J, want 1.6e-3", got)
+	}
+}
+
+func TestEnergyIncludesTransitionOverhead(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 5)
+	l.RequestStep(0, true)
+	sched.RunUntil(20 * sim.Microsecond) // transition completes
+	st := l.StatsAt(sched.Now())
+	if st.Transitions != 1 {
+		t.Fatalf("transitions = %d, want 1", st.Transitions)
+	}
+	want := tab.TransitionEnergyJ(5, 6)
+	if math.Abs(st.TransitionEnergy-want) > 1e-12 {
+		t.Errorf("transition energy = %g, want %g", st.TransitionEnergy, want)
+	}
+	if st.EnergyJ <= st.TransitionEnergy {
+		t.Error("total energy should include operating power on top of overhead")
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 3)
+	f := func(a, b uint32) bool {
+		t1 := sim.Time(a % 1000000)
+		t2 := t1 + sim.Time(b%1000000)
+		if t2 < sched.Now() || t1 < sched.Now() {
+			return true
+		}
+		e1 := l.EnergyJ(t1)
+		e2 := l.EnergyJ(t2)
+		return e2 >= e1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerDuringTransitionIsConservative(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 4)
+	before := l.PowerW()
+	l.RequestStep(0, true) // volt ramps to level-5 voltage immediately
+	during := l.PowerW()
+	if during <= before {
+		t.Errorf("power during upward ramp = %g, want > steady %g", during, before)
+	}
+	// After completion, power equals the level-5 table entry.
+	sched.RunUntil(20 * sim.Microsecond)
+	if math.Abs(l.PowerW()-tab.PowerW[5]) > 1e-12 {
+		t.Errorf("settled power = %g, want %g", l.PowerW(), tab.PowerW[5])
+	}
+}
+
+func TestTimeAtLevelAccounting(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 9)
+	sched.RunUntil(100 * sim.Microsecond)
+	l.RequestStep(sched.Now(), false)
+	sched.RunUntil(300 * sim.Microsecond)
+	st := l.StatsAt(sched.Now())
+	total := sim.Duration(0)
+	for _, d := range st.TimeAtLevel {
+		total += d
+	}
+	if total != 300*sim.Microsecond {
+		t.Errorf("time-at-level sums to %v, want 300us", total)
+	}
+	if st.TimeAtLevel[9] < 100*sim.Microsecond {
+		t.Errorf("time at level 9 = %v, want >= 100us", st.TimeAtLevel[9])
+	}
+	if st.TimeAtLevel[8] == 0 {
+		t.Error("no time recorded at level 8 after downward step")
+	}
+}
+
+func TestDownTransitionChargesEnergy(t *testing.T) {
+	var sched sim.Scheduler
+	tab := paperTable(t)
+	l := NewDVSLink(tab, &sched, 5)
+	l.RequestStep(0, false)
+	sched.RunUntil(20 * sim.Microsecond)
+	st := l.StatsAt(sched.Now())
+	want := tab.TransitionEnergyJ(5, 4)
+	if math.Abs(st.TransitionEnergy-want) > 1e-12 {
+		t.Errorf("downward transition energy = %g, want %g", st.TransitionEnergy, want)
+	}
+}
+
+// TestStateMachineProperty drives a link with random step requests and
+// time advances, checking invariants after every event: the level stays in
+// range, energy is monotone, time-at-level accounts for all elapsed time,
+// and the link always returns to Functional after a bounded wait.
+func TestStateMachineProperty(t *testing.T) {
+	tab := paperTable(t)
+	rng := sim.NewRNG(99)
+	var sched sim.Scheduler
+	l := NewDVSLink(tab, &sched, 5)
+	lastEnergy := 0.0
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			l.RequestStep(sched.Now(), rng.Intn(2) == 0)
+		case 1:
+			if l.CanSend(sched.Now()) {
+				l.Send(sched.Now())
+			}
+		case 2:
+			sched.RunUntil(sched.Now() + sim.Time(rng.Intn(5000))*sim.Nanosecond)
+		}
+		if lv := l.Level(); lv < 0 || lv >= tab.Params.Levels {
+			t.Fatalf("level %d out of range", lv)
+		}
+		if e := l.EnergyJ(sched.Now()); e < lastEnergy {
+			t.Fatalf("energy decreased: %g -> %g", lastEnergy, e)
+		} else {
+			lastEnergy = e
+		}
+	}
+	// Any in-flight transition completes within one volt ramp + max lock.
+	sched.RunUntil(sched.Now() + 20*sim.Microsecond)
+	if l.State() != Functional {
+		t.Fatalf("link stuck in %v after settling time", l.State())
+	}
+	st := l.StatsAt(sched.Now())
+	var total sim.Duration
+	for _, d := range st.TimeAtLevel {
+		total += d
+	}
+	if total != sched.Now() {
+		t.Errorf("time-at-level sums to %v, want %v", total, sched.Now())
+	}
+}
+
+// TestUtilizationNeverExceedsFunctionalTime: across random traffic and
+// transitions, the busy window can never exceed the functional window.
+func TestUtilizationNeverExceedsFunctionalTime(t *testing.T) {
+	tab := paperTable(t)
+	rng := sim.NewRNG(123)
+	var sched sim.Scheduler
+	l := NewDVSLink(tab, &sched, 9)
+	window := 200 * sim.Nanosecond
+	for w := 0; w < 200; w++ {
+		start := sched.Now()
+		for sched.Now() < start+window {
+			if rng.Intn(3) == 0 && l.CanSend(sched.Now()) {
+				l.Send(sched.Now())
+			}
+			if rng.Intn(50) == 0 {
+				l.RequestStep(sched.Now(), rng.Intn(2) == 0)
+			}
+			sched.RunUntil(sched.Now() + sim.Time(1+rng.Intn(20))*sim.Nanosecond)
+		}
+		busy, dead := l.TakeUtilization(sched.Now())
+		if dead < 0 || busy < 0 {
+			t.Fatalf("negative window accounting: busy=%v dead=%v", busy, dead)
+		}
+	}
+}
+
+func TestNoiseModelShape(t *testing.T) {
+	tab := paperTable(t)
+	n := NoiseModel{JitterRMSPs: 40}
+	// Reliability improves (BER falls) as frequency falls — the paper's
+	// "frequency reduction improves communication reliability".
+	prev := math.Inf(1)
+	for lvl := tab.Top(); lvl >= 0; lvl-- {
+		ber := n.BERAt(tab, lvl)
+		if ber > prev {
+			t.Fatalf("BER rose when slowing to level %d", lvl)
+		}
+		prev = ber
+	}
+	if n.WorstLevel(tab) != tab.Top() {
+		t.Error("worst level should be the fastest")
+	}
+}
+
+func TestNoiseBudgetAtPaperDesignPoint(t *testing.T) {
+	tab := paperTable(t)
+	// With a tight jitter budget the whole range meets the paper's 1e-15.
+	tight := NoiseModel{JitterRMSPs: 50}
+	if !tight.MeetsBudget(tab, 1e-15) {
+		t.Error("50 ps RMS jitter should meet 1e-15 across the range")
+	}
+	// A sloppy receiver does not.
+	sloppy := NoiseModel{JitterRMSPs: 120}
+	if sloppy.MeetsBudget(tab, 1e-15) {
+		t.Error("120 ps RMS jitter should fail 1e-15 at 1 GHz")
+	}
+	// The budget inverter is consistent with the forward model.
+	budget := MaxJitterPsFor(tab, 1e-15)
+	if budget <= 50 || budget >= 120 {
+		t.Errorf("max jitter budget = %.1f ps, expected between 50 and 120", budget)
+	}
+	at := NoiseModel{JitterRMSPs: budget * 0.99}
+	if !at.MeetsBudget(tab, 1e-15) {
+		t.Error("just inside the budget should pass")
+	}
+}

@@ -1,0 +1,59 @@
+package link
+
+import "math"
+
+// NoiseModel captures the Section 2 noise discussion: supply-voltage
+// reduction magnifies the link circuitry's noise sensitivity, while
+// frequency reduction shrinks the ratio of timing uncertainty to bit time
+// and so improves reliability. The paper's design point is that current
+// links achieve a 10^-15 bit error rate across the whole 0.9-2.5 V,
+// 125 MHz-1 GHz (200-700 MHz in the prototype) operating range, and the
+// DVS policy assumes every level stays above the noise margin.
+//
+// The model treats the sampling instant as Gaussian-jittered and a bit as
+// mis-sampled when the jitter exceeds half the bit time:
+//
+//	BER(level) = erfc( (bitTime/2) / (sqrt(2) * sigma) ) / 2
+//
+// with sigma the RMS timing uncertainty. It exists to *verify* the
+// paper's assumption for a given jitter budget, not to inject errors into
+// the simulation (the paper does not).
+type NoiseModel struct {
+	// JitterRMSPs is the RMS timing uncertainty in picoseconds, aggregating
+	// supply noise, crosstalk and clock jitter at the receiver.
+	JitterRMSPs float64
+}
+
+// BERAt reports the estimated bit error rate at a level of the table.
+func (n NoiseModel) BERAt(t *Table, level int) float64 {
+	bitTime := 1e12 / t.FreqHz[level] // ps; one bit per link clock
+	q := bitTime / 2 / (math.Sqrt2 * n.JitterRMSPs)
+	return 0.5 * math.Erfc(q)
+}
+
+// WorstLevel reports the level with the highest BER — always the fastest,
+// since jitter is a larger fraction of a shorter bit.
+func (n NoiseModel) WorstLevel(t *Table) int { return t.Top() }
+
+// MeetsBudget reports whether every level's estimated BER stays at or
+// below the target (the paper's 10^-15).
+func (n NoiseModel) MeetsBudget(t *Table, target float64) bool {
+	return n.BERAt(t, n.WorstLevel(t)) <= target
+}
+
+// MaxJitterPsFor reports the largest RMS jitter under which the table's
+// fastest level still meets the BER target — the timing budget a link
+// designer reads off this model.
+func MaxJitterPsFor(t *Table, target float64) float64 {
+	// Bisect sigma: BER at the fastest level is monotone in the jitter.
+	lo, hi := 0.0, 1e12/t.FreqHz[t.Top()]
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if (NoiseModel{JitterRMSPs: mid}).BERAt(t, t.Top()) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

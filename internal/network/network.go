@@ -1,0 +1,610 @@
+// Package network assembles topology, routers, DVS links, the history-based
+// DVS policy and a traffic model into the paper's simulation platform: a
+// k-ary n-cube of 1 GHz pipelined virtual-channel routers whose inter-router
+// channels are DVS links in their own clock domains, exchanging flits by
+// message passing (scheduled arrival events), with credit-based flow
+// control whose credit-return latency tracks the reverse channel's speed.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// PolicyKind selects the DVS controller attached to each output port.
+type PolicyKind int
+
+const (
+	// PolicyNone pins every link at the top level (the non-DVS baseline).
+	PolicyNone PolicyKind = iota
+	// PolicyHistory is the paper's history-based DVS (Algorithm 1).
+	PolicyHistory
+	// PolicyLinkUtilOnly is the Section 3.1 ablation without the
+	// buffer-utilization congestion litmus.
+	PolicyLinkUtilOnly
+	// PolicyAdaptiveThresholds is the Section 4.4.2 extension that walks
+	// the Table 2 threshold settings online.
+	PolicyAdaptiveThresholds
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyNone:
+		return "none"
+	case PolicyHistory:
+		return "history"
+	case PolicyLinkUtilOnly:
+		return "link-util-only"
+	case PolicyAdaptiveThresholds:
+		return "adaptive-thresholds"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// Config assembles a complete simulation platform. NewConfig returns the
+// paper's Section 4.2 experimental setup.
+type Config struct {
+	// K, N, Torus shape the k-ary n-cube (paper: 8-ary 2-cube mesh).
+	K, N  int
+	Torus bool
+
+	// Router is the per-node router microarchitecture.
+	Router router.Config
+	// Link is the DVS link design.
+	Link link.Params
+	// Policy selects the per-port DVS controller and its parameters.
+	Policy PolicyKind
+	// DVS holds the history-based policy parameters (Table 1).
+	DVS core.Params
+	// Routing names the routing algorithm ("dor" or "adaptive").
+	Routing string
+
+	// RouterPeriod is the router clock (paper: 1 GHz).
+	RouterPeriod sim.Duration
+	// StartLevel is the initial link level (-1 means the top level).
+	StartLevel int
+
+	// Seed feeds the traffic model when one is attached via Run.
+	Seed uint64
+}
+
+// NewConfig returns the paper's experimental platform: 8x8 mesh, 1 GHz
+// 13-stage routers with 2 VCs and 128 flit buffers per port, ten-level DVS
+// links, Table 1 policy parameters.
+func NewConfig() Config {
+	return Config{
+		K:            8,
+		N:            2,
+		Torus:        false,
+		Router:       router.NewConfig(5),
+		Link:         link.NewParams(),
+		Policy:       PolicyHistory,
+		DVS:          core.DefaultParams(),
+		Routing:      "dor",
+		RouterPeriod: sim.Nanosecond,
+		StartLevel:   -1,
+		Seed:         1,
+	}
+}
+
+// Validate reports whether the configuration is coherent.
+func (c Config) Validate() error {
+	if c.K < 2 || c.N < 1 {
+		return fmt.Errorf("network: invalid cube %d-ary %d", c.K, c.N)
+	}
+	if want := 1 + 2*c.N; c.Router.Ports != want {
+		return fmt.Errorf("network: router has %d ports, topology needs %d", c.Router.Ports, want)
+	}
+	if err := c.Router.Validate(); err != nil {
+		return err
+	}
+	if err := c.DVS.Validate(); err != nil {
+		return err
+	}
+	if c.RouterPeriod <= 0 {
+		return fmt.Errorf("network: router period %v", c.RouterPeriod)
+	}
+	if _, err := routing.ByName(c.Routing); err != nil {
+		return err
+	}
+	if _, err := link.NewTable(c.Link); err != nil {
+		return err
+	}
+	return nil
+}
+
+// portCtl is the per-output-port DVS machinery: the policy instance and the
+// channel it drives.
+type portCtl struct {
+	policy     core.Policy
+	out        *router.OutputPort
+	link       *link.DVSLink
+	node, port int
+}
+
+// injector streams packets from a node's source queue into the local input
+// port, one flit per router cycle, keeping each packet's flits contiguous
+// on one VC.
+type injector struct {
+	queue   []*flow.Packet
+	current []*flow.Flit // remaining flits of the packet being injected
+	vc      int
+}
+
+// ringSize is the span, in router cycles, of the short-delay message ring.
+// Flit serialization and credit return delays are at most one bottom-level
+// link period (8 cycles at 1 GHz), far below it.
+const ringSize = 64
+
+// arrivalMsg is a flit landing at a router input port.
+type arrivalMsg struct {
+	in   *router.InputPort
+	flit *flow.Flit
+}
+
+// creditMsg returns one buffer slot to an upstream output port.
+type creditMsg struct {
+	out *router.OutputPort
+	vc  int
+}
+
+// ringBucket holds the messages due in one future router cycle.
+type ringBucket struct {
+	arrivals []arrivalMsg
+	credits  []creditMsg
+}
+
+// Network is a runnable simulation instance.
+type Network struct {
+	Cfg   Config
+	Topo  *topology.Cube
+	Sched *sim.Scheduler
+	Table *link.Table
+
+	Routers []*router.Router
+	// Links maps (src node, output port) to the channel's DVS link.
+	linkAt [][]*link.DVSLink
+	ctls   []*portCtl
+	algo   routing.Algorithm
+
+	injectors []*injector
+	nextPkt   int64
+	cycle     int64
+
+	// Measurement state (reset by BeginMeasurement).
+	Lat       *stats.Latency
+	Meter     *power.Meter
+	measStart sim.Time
+	injected  int64
+	delivered int64
+
+	// InFlight tracks packets injected but not yet delivered (for drain
+	// checks and deadlock detection in tests).
+	InFlight int64
+
+	// Probe, when set, runs every ProbeEvery cycles before the DVS policy
+	// (used by the figure harnesses to sample utilizations).
+	Probe      func(now sim.Time)
+	ProbeEvery int64
+
+	// OnDeliver, when set, observes every delivered packet.
+	OnDeliver func(p *flow.Packet)
+
+	// Trace, when non-nil, records packet and DVS events.
+	Trace *trace.Buffer
+
+	// ring buffers short-delay flit arrivals and credit returns per due
+	// cycle, replacing per-message scheduler events on the hot path.
+	ring [ringSize]ringBucket
+}
+
+// New builds the platform.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(cfg.K, cfg.N, cfg.Torus)
+	table := link.MustTable(cfg.Link)
+	algo, err := routing.ByName(cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:   cfg,
+		Topo:  topo,
+		Sched: &sim.Scheduler{},
+		Table: table,
+		algo:  algo,
+	}
+	start := cfg.StartLevel
+	if start < 0 {
+		start = table.Top()
+	}
+
+	// Routers.
+	for id := 0; id < topo.Nodes(); id++ {
+		r, err := router.New(id, cfg.Router)
+		if err != nil {
+			return nil, err
+		}
+		id := id
+		r.RouteFn = func(p *flow.Packet) []routing.Candidate {
+			st := routing.State{LastDim: p.LastDim, Wrapped: p.Wrapped}
+			return n.algo.Route(topo, id, p.Dst, cfg.Router.VCs, st)
+		}
+		n.Routers = append(n.Routers, r)
+		n.injectors = append(n.injectors, &injector{})
+	}
+
+	// Channels: one DVS link per directed channel, plus the policy
+	// controller at its source output port.
+	n.linkAt = make([][]*link.DVSLink, topo.Nodes())
+	for i := range n.linkAt {
+		n.linkAt[i] = make([]*link.DVSLink, cfg.Router.Ports)
+	}
+	var all []*link.DVSLink
+	for _, ch := range topo.Channels() {
+		port := topo.PortFor(ch.Dim, ch.Dir)
+		l := link.NewDVSLink(table, n.Sched, start)
+		n.linkAt[ch.Src][port] = l
+		all = append(all, l)
+		out := n.Routers[ch.Src].Outputs[port]
+		out.Link = l
+		n.ctls = append(n.ctls, &portCtl{
+			policy: n.newPolicy(), out: out, link: l, node: ch.Src, port: port,
+		})
+	}
+
+	// Credit return paths: the input port of ch.Dst facing ch reaches back
+	// to ch.Src's output port; the credit travels on the reverse channel,
+	// so its latency is the reverse link's current serialization period.
+	for _, ch := range topo.Channels() {
+		ch := ch
+		outPort := topo.PortFor(ch.Dim, ch.Dir)
+		inPort := topo.PortFor(ch.Dim, 1-ch.Dir) // arriving from the opposite direction
+		upstream := n.Routers[ch.Src].Outputs[outPort]
+		revPort := topo.PortFor(ch.Dim, 1-ch.Dir)
+		rev := n.linkAt[ch.Dst][revPort] // channel ch.Dst -> ch.Src
+		n.Routers[ch.Dst].SetCreditReturn(inPort, func(vc int, now sim.Time) {
+			delay := n.Cfg.RouterPeriod
+			if rev != nil {
+				delay = rev.Period()
+			}
+			n.enqueueCredit(upstream, vc, now+delay)
+		})
+	}
+
+	n.Lat = stats.NewLatency(cfg.RouterPeriod)
+	n.Meter = power.NewMeter(table, all, 0)
+	return n, nil
+}
+
+// newPolicy builds one per-port policy instance.
+func (n *Network) newPolicy() core.Policy {
+	switch n.Cfg.Policy {
+	case PolicyHistory:
+		p, err := core.NewHistoryDVS(n.Cfg.DVS)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	case PolicyLinkUtilOnly:
+		return &core.LinkUtilOnly{P: n.Cfg.DVS}
+	case PolicyAdaptiveThresholds:
+		p, err := core.NewAdaptiveThresholds(n.Cfg.DVS)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	default:
+		return core.NoDVS{}
+	}
+}
+
+// Links returns all DVS links (for instrumentation).
+func (n *Network) Links() []*link.DVSLink {
+	var out []*link.DVSLink
+	for _, row := range n.linkAt {
+		for _, l := range row {
+			if l != nil {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// LinkAt returns the channel leaving node via (dim, dir), or nil.
+func (n *Network) LinkAt(node, dim int, dir topology.Direction) *link.DVSLink {
+	return n.linkAt[node][n.Topo.PortFor(dim, dir)]
+}
+
+// Inject enqueues one packet at a source node. It is the traffic.Injector
+// for this network.
+func (n *Network) Inject(src, dst int, now sim.Time, task int64) {
+	if src == dst {
+		return
+	}
+	n.nextPkt++
+	p := flow.NewPacket(n.nextPkt, src, dst, now, task)
+	n.injectors[src].queue = append(n.injectors[src].queue, p)
+	n.injected++
+	n.InFlight++
+	n.Trace.Log(trace.Event{At: now, Kind: trace.PacketInjected, ID: p.ID, A: src, B: dst})
+}
+
+// Cycle reports the number of router cycles executed.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Now reports the current simulation time.
+func (n *Network) Now() sim.Time { return n.Sched.Now() }
+
+// Step advances the platform one router cycle: deliver pending events,
+// inject, tick routers, transmit onto links, eject, and run the DVS policy
+// when a history window closes.
+func (n *Network) Step() {
+	now := sim.Time(n.cycle) * n.Cfg.RouterPeriod
+	n.Sched.RunUntil(now)
+	n.drainRing(now)
+	n.injectFlits(now)
+	for _, r := range n.Routers {
+		r.Tick(now, n.Cfg.RouterPeriod)
+	}
+	n.transmit(now)
+	n.eject(now)
+	n.cycle++
+	if n.cycle%int64(n.Cfg.DVS.H) == 0 {
+		n.runPolicies(now)
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 && n.cycle%n.ProbeEvery == 0 {
+		n.Probe(now)
+	}
+}
+
+// Run advances the given number of router cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// dueCycle converts an absolute due instant to the router cycle whose Step
+// will deliver it: the first cycle edge at or after the instant.
+func (n *Network) dueCycle(at sim.Time) int64 {
+	p := n.Cfg.RouterPeriod
+	return int64((at + p - 1) / p)
+}
+
+// enqueueArrival buffers a flit delivery due at the given instant. Delays
+// beyond the ring span (impossible for link serialization) fall back to the
+// scheduler.
+func (n *Network) enqueueArrival(in *router.InputPort, f *flow.Flit, at sim.Time) {
+	due := n.dueCycle(at)
+	if due-n.cycle >= ringSize {
+		n.Sched.At(at, func() { in.Arrive(f, n.Sched.Now()) })
+		return
+	}
+	b := &n.ring[due%ringSize]
+	b.arrivals = append(b.arrivals, arrivalMsg{in: in, flit: f})
+}
+
+// enqueueCredit buffers a credit return due at the given instant.
+func (n *Network) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
+	due := n.dueCycle(at)
+	if due-n.cycle >= ringSize {
+		n.Sched.At(at, func() { out.ReturnCredit(vc, n.Sched.Now()) })
+		return
+	}
+	b := &n.ring[due%ringSize]
+	b.credits = append(b.credits, creditMsg{out: out, vc: vc})
+}
+
+// drainRing delivers the messages due this cycle.
+func (n *Network) drainRing(now sim.Time) {
+	b := &n.ring[n.cycle%ringSize]
+	for i, a := range b.arrivals {
+		a.in.Arrive(a.flit, now)
+		b.arrivals[i] = arrivalMsg{}
+	}
+	b.arrivals = b.arrivals[:0]
+	for i, c := range b.credits {
+		c.out.ReturnCredit(c.vc, now)
+		b.credits[i] = creditMsg{}
+	}
+	b.credits = b.credits[:0]
+}
+
+// injectFlits moves source-queue flits into local input buffers: one flit
+// per node per cycle, packets contiguous per VC.
+func (n *Network) injectFlits(now sim.Time) {
+	for node, inj := range n.injectors {
+		in := n.Routers[node].Inputs[topology.LocalPort]
+		if len(inj.current) == 0 {
+			if len(inj.queue) == 0 {
+				continue
+			}
+			// Pick the VC with the most free space for the next packet.
+			best, bestFree := -1, 0
+			for vc := 0; vc < n.Cfg.Router.VCs; vc++ {
+				if f := in.Free(vc); f > bestFree {
+					best, bestFree = vc, f
+				}
+			}
+			if best < 0 || bestFree < 1 {
+				continue
+			}
+			p := inj.queue[0]
+			inj.queue = inj.queue[1:]
+			p.Injected = now
+			inj.current = flow.NewPacketFlits(p)
+			inj.vc = best
+		}
+		if in.Free(inj.vc) < 1 {
+			continue
+		}
+		f := inj.current[0]
+		inj.current = inj.current[1:]
+		f.VC = inj.vc
+		in.Arrive(f, now)
+	}
+}
+
+// transmit drains output pipelines onto functional, idle links, scheduling
+// flit arrival at the downstream router after serialization.
+func (n *Network) transmit(now sim.Time) {
+	for node, r := range n.Routers {
+		for port := 1; port < n.Cfg.Router.Ports; port++ {
+			out := r.Outputs[port]
+			l := out.Link
+			if l == nil || len(out.Tx()) == 0 {
+				continue
+			}
+			front := out.Tx()[0]
+			if front.ReadyAt() > now || !l.CanSend(now) {
+				continue
+			}
+			out.PopTx()
+			f := front.Flit()
+			d := l.Send(now)
+
+			dim, dir := n.Topo.DimDir(port)
+			dst, ok := n.Topo.Neighbor(node, dim, dir)
+			if !ok {
+				panic("network: flit routed off the mesh edge")
+			}
+			if f.Kind == flow.Head {
+				// Advance dateline state as the head crosses the channel.
+				cx := n.Topo.Coord(node, dim)
+				wrap := n.Topo.Torus() &&
+					((dir == topology.Plus && cx == n.Topo.K()-1) ||
+						(dir == topology.Minus && cx == 0))
+				st := routing.State{LastDim: f.Packet.LastDim, Wrapped: f.Packet.Wrapped}
+				st = st.Advance(dim, wrap)
+				f.Packet.LastDim, f.Packet.Wrapped = st.LastDim, st.Wrapped
+			}
+			inPort := n.Topo.PortFor(dim, 1-dir)
+			n.enqueueArrival(n.Routers[dst].Inputs[inPort], f, now+d)
+		}
+	}
+}
+
+// eject drains local output pipelines: every ready flit leaves immediately
+// (the paper assumes immediate ejection), and tails complete packets.
+func (n *Network) eject(now sim.Time) {
+	for _, r := range n.Routers {
+		out := r.Outputs[topology.LocalPort]
+		for len(out.Tx()) > 0 && out.Tx()[0].ReadyAt() <= now {
+			e := out.PopTx()
+			f := e.Flit()
+			if f.Kind != flow.Tail {
+				continue
+			}
+			p := f.Packet
+			p.Delivered = now
+			n.InFlight--
+			n.Trace.Log(trace.Event{At: now, Kind: trace.PacketDelivered,
+				ID: p.ID, A: p.Src, B: p.Dst, C: int64(p.Latency())})
+			if p.Created >= n.measStart {
+				n.Lat.Add(p.Latency())
+				n.delivered++
+			}
+			if n.OnDeliver != nil {
+				n.OnDeliver(p)
+			}
+		}
+	}
+}
+
+// runPolicies closes one history window on every controlled port.
+func (n *Network) runPolicies(now sim.Time) {
+	window := sim.Duration(n.Cfg.DVS.H) * n.Cfg.RouterPeriod
+	for _, c := range n.ctls {
+		if _, fixed := c.policy.(core.NoDVS); fixed {
+			// The baseline never moves; leave the utilization and occupancy
+			// windows to instrumentation probes.
+			continue
+		}
+		busy, dead := c.link.TakeUtilization(now)
+		lu := core.LinkUtilization(busy, window-dead)
+		bu := core.BufferUtilization(c.out.TakeOccupancyIntegral(now), c.out.TotalSlots(), window)
+		switch c.policy.Decide(core.Measures{LinkUtil: lu, BufUtil: bu}) {
+		case core.Raise:
+			n.Trace.Log(trace.Event{At: now, Kind: trace.PolicyDecision, A: c.node, B: c.port, C: 1})
+			if c.link.RequestStep(now, true) {
+				n.Trace.Log(trace.Event{At: now, Kind: trace.LinkTransition,
+					A: c.node, B: c.port, C: int64(c.link.TargetLevel())})
+			}
+		case core.Lower:
+			n.Trace.Log(trace.Event{At: now, Kind: trace.PolicyDecision, A: c.node, B: c.port, C: -1})
+			if c.link.RequestStep(now, false) {
+				n.Trace.Log(trace.Event{At: now, Kind: trace.LinkTransition,
+					A: c.node, B: c.port, C: int64(c.link.TargetLevel())})
+			}
+		}
+	}
+}
+
+// BeginMeasurement resets latency/power/throughput accounting at the
+// current instant; packets created earlier are excluded from latency and
+// throughput statistics.
+func (n *Network) BeginMeasurement() {
+	now := n.Now()
+	n.measStart = now
+	n.Lat = stats.NewLatency(n.Cfg.RouterPeriod)
+	n.Meter = power.NewMeter(n.Table, n.Links(), now)
+	n.delivered = 0
+	n.injected = 0
+}
+
+// Results summarizes a measurement interval.
+type Results struct {
+	Cycles         int64
+	InjectedPkts   int64
+	DeliveredPkts  int64
+	MeanLatency    float64 // router cycles
+	P50Latency     float64 // median latency, router cycles
+	P99Latency     float64 // tail latency, router cycles
+	ThroughputPkts float64 // packets per cycle, network-wide
+	AvgPowerW      float64
+	NormalizedPwr  float64
+	SavingsX       float64
+}
+
+// Snapshot reports results accumulated since BeginMeasurement.
+func (n *Network) Snapshot() Results {
+	now := n.Now()
+	cycles := int64((now - n.measStart) / n.Cfg.RouterPeriod)
+	var thr float64
+	if cycles > 0 {
+		thr = float64(n.delivered) / float64(cycles)
+	}
+	return Results{
+		Cycles:         cycles,
+		InjectedPkts:   n.injected,
+		DeliveredPkts:  n.delivered,
+		MeanLatency:    n.Lat.MeanCycles(),
+		P50Latency:     n.Lat.Quantile(0.5),
+		P99Latency:     n.Lat.Quantile(0.99),
+		ThroughputPkts: thr,
+		AvgPowerW:      n.Meter.AvgPowerW(now),
+		NormalizedPwr:  n.Meter.Normalized(now),
+		SavingsX:       n.Meter.Savings(now),
+	}
+}
+
+// Launch attaches a traffic model from now until horizon.
+func (n *Network) Launch(m traffic.Model, horizon sim.Time) {
+	m.Launch(n.Sched, horizon, n.Inject)
+}

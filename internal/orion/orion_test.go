@@ -1,0 +1,107 @@
+package orion
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// paperRouter is the paper's router geometry: 5 ports, 2 VCs, 128-flit
+// input buffers, 32-bit flits.
+func paperRouter() Router {
+	return Router{Ports: 5, VCs: 2, BufPerPort: 128, FlitBits: 32}
+}
+
+func TestEnergiesPositiveAndOrdered(t *testing.T) {
+	tech := TSMC250()
+	buf, xbar, arb := paperRouter().Components()
+	w, r := buf.WriteEnergyJ(tech), buf.ReadEnergyJ(tech)
+	x, a := xbar.TraversalEnergyJ(tech), arb.GrantEnergyJ(tech)
+	for name, v := range map[string]float64{"write": w, "read": r, "xbar": x, "arb": a} {
+		if v <= 0 {
+			t.Errorf("%s energy = %g, want > 0", name, v)
+		}
+	}
+	// A differential full-swing write costs more than a half-swing read.
+	if w <= r {
+		t.Errorf("write %g should exceed read %g", w, r)
+	}
+	// Arbitration is by far the cheapest event — the premise behind the
+	// paper ignoring router power under DVS.
+	if a*10 > x {
+		t.Errorf("arbitration %g not << crossbar %g", a, x)
+	}
+}
+
+func TestEnergyScalesWithGeometry(t *testing.T) {
+	tech := TSMC250()
+	small := Buffer{Entries: 16, Width: 32}
+	big := Buffer{Entries: 128, Width: 32}
+	if big.WriteEnergyJ(tech) <= small.WriteEnergyJ(tech) {
+		t.Error("deeper buffer should cost more per write (longer bit lines)")
+	}
+	narrow := Crossbar{Ports: 5, Width: 16}
+	wide := Crossbar{Ports: 5, Width: 64}
+	if wide.TraversalEnergyJ(tech) <= narrow.TraversalEnergyJ(tech) {
+		t.Error("wider crossbar should cost more per traversal")
+	}
+	few := Arbiter{Requesters: 3}
+	many := Arbiter{Requesters: 10}
+	if many.GrantEnergyJ(tech) <= few.GrantEnergyJ(tech) {
+		t.Error("bigger arbiter should cost more per grant")
+	}
+}
+
+func TestEnergyScalesWithVoltageSquared(t *testing.T) {
+	lo, hi := TSMC250(), TSMC250()
+	lo.VddV, hi.VddV = 1.0, 2.0
+	buf := Buffer{Entries: 64, Width: 32}
+	ratio := buf.WriteEnergyJ(hi) / buf.WriteEnergyJ(lo)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("E(2V)/E(1V) = %g, want 4 (CV^2)", ratio)
+	}
+}
+
+// TestCrossCheckAgainstFigure7Calibration: the bottom-up Orion-style
+// estimates and the top-down Figure 7 calibration (internal/power) are
+// independent; Orion claims accuracy within a small factor of circuit
+// simulation, so the two must land within 4x of each other for every
+// event class, and the full-tilt core totals within 3x.
+func TestCrossCheckAgainstFigure7Calibration(t *testing.T) {
+	tech := TSMC250()
+	r := paperRouter()
+	buf, xbar, arb := r.Components()
+
+	table := link.MustTable(link.NewParams())
+	calib := power.NewRouterEnergyModel(table, 4, sim.Nanosecond)
+
+	within := func(name string, a, b, factor float64) {
+		t.Helper()
+		ratio := a / b
+		if ratio < 1/factor || ratio > factor {
+			t.Errorf("%s: orion %.3gJ vs calibrated %.3gJ (ratio %.2f, want within %gx)",
+				name, a, b, ratio, factor)
+		}
+	}
+	within("buffer write", buf.WriteEnergyJ(tech), calib.BufWriteJ, 4)
+	within("buffer read", buf.ReadEnergyJ(tech), calib.BufReadJ, 4)
+	within("crossbar", xbar.TraversalEnergyJ(tech), calib.CrossbarJ, 4)
+	within("arbiter", arb.GrantEnergyJ(tech), calib.ArbGrantJ, 10)
+
+	orionCore := r.FullTiltCorePowerW(tech, 1e9)
+	calibCore := calib.FullTiltPowerW(4, sim.Nanosecond) - calib.ClockW // orion has no clock tree
+	within("full-tilt core", orionCore, calibCore, 3)
+}
+
+func TestStringSummary(t *testing.T) {
+	s := paperRouter().String(TSMC250())
+	for _, want := range []string{"write=", "read=", "xbar=", "arb="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

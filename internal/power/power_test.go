@@ -1,0 +1,168 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+func table(t *testing.T) *link.Table {
+	t.Helper()
+	tab, err := link.NewTable(link.NewParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestRouterBreakdownMatchesFig7(t *testing.T) {
+	tab := table(t)
+	b := RouterBreakdown(tab, 4)
+	// Links: 4 ports * 1.6 W = 6.4 W, and exactly 82.4% of the total.
+	if f := Fraction(b, "links"); math.Abs(f-0.824) > 1e-9 {
+		t.Errorf("link fraction = %g, want 0.824", f)
+	}
+	if w := b[0].Watts; math.Abs(w-6.4) > 1e-9 {
+		t.Errorf("link power = %g W, want 6.4", w)
+	}
+	// Allocators: the paper's 81 mW, about 1% of the router.
+	if f := Fraction(b, "allocators"); f > 0.02 {
+		t.Errorf("allocator fraction = %g, want ~0.01", f)
+	}
+	// Everything accounted for.
+	total := Total(b)
+	if math.Abs(total-6.4/0.824) > 1e-9 {
+		t.Errorf("total = %g, want %g", total, 6.4/0.824)
+	}
+	sum := 0.0
+	for _, e := range b {
+		if e.Watts < 0 {
+			t.Errorf("%s negative: %g", e.Component, e.Watts)
+		}
+		sum += e.Watts
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Error("entries do not sum to total")
+	}
+}
+
+func TestPaperNetworkBaseline(t *testing.T) {
+	// The paper's round number: 64 routers * 4 ports * 8 links * 0.2 W =
+	// 409.6 W. With 256 channels at 1.6 W each the meter must agree.
+	tab := table(t)
+	var sched sim.Scheduler
+	links := make([]*link.DVSLink, 256)
+	for i := range links {
+		links[i] = link.NewDVSLink(tab, &sched, tab.Top())
+	}
+	m := NewMeter(tab, links, 0)
+	if got := m.BaselinePowerW(); math.Abs(got-409.6) > 1e-9 {
+		t.Errorf("baseline = %g W, want 409.6", got)
+	}
+}
+
+func TestMeterTracksEnergyAndSavings(t *testing.T) {
+	tab := table(t)
+	var sched sim.Scheduler
+	fast := link.NewDVSLink(tab, &sched, tab.Top())
+	slow := link.NewDVSLink(tab, &sched, 0)
+	m := NewMeter(tab, []*link.DVSLink{fast, slow}, 0)
+
+	now := sim.Millisecond
+	// fast: 1.6 mJ; slow: 8*23.6mW*1ms = 0.1888 mJ.
+	wantE := 1.6e-3 + 0.1888e-3
+	if got := m.EnergyJ(now); math.Abs(got-wantE) > 1e-9 {
+		t.Errorf("energy = %g, want %g", got, wantE)
+	}
+	wantP := wantE / 1e-3
+	if got := m.AvgPowerW(now); math.Abs(got-wantP) > 1e-9 {
+		t.Errorf("avg power = %g, want %g", got, wantP)
+	}
+	wantNorm := wantP / 3.2
+	if got := m.Normalized(now); math.Abs(got-wantNorm) > 1e-9 {
+		t.Errorf("normalized = %g, want %g", got, wantNorm)
+	}
+	if got := m.Savings(now); math.Abs(got-1/wantNorm) > 1e-9 {
+		t.Errorf("savings = %g, want %g", got, 1/wantNorm)
+	}
+}
+
+func TestMeterEpochExcludesPriorEnergy(t *testing.T) {
+	tab := table(t)
+	var sched sim.Scheduler
+	l := link.NewDVSLink(tab, &sched, tab.Top())
+	// Burn 1 ms before the measurement epoch.
+	epoch := sim.Millisecond
+	m := NewMeter(tab, []*link.DVSLink{l}, epoch)
+	got := m.EnergyJ(2 * sim.Millisecond)
+	if math.Abs(got-1.6e-3) > 1e-9 {
+		t.Errorf("post-epoch energy = %g, want 1.6e-3", got)
+	}
+}
+
+func TestMaxSavingsBound(t *testing.T) {
+	// All links at the bottom level: savings equal the table's dynamic
+	// range (~8.5X), the ceiling for any DVS policy under this link model.
+	tab := table(t)
+	var sched sim.Scheduler
+	links := []*link.DVSLink{link.NewDVSLink(tab, &sched, 0)}
+	m := NewMeter(tab, links, 0)
+	got := m.Savings(sim.Millisecond)
+	want := tab.PowerW[tab.Top()] / tab.PowerW[0]
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("floor-level savings = %g, want %g", got, want)
+	}
+}
+
+func TestInstantPower(t *testing.T) {
+	tab := table(t)
+	var sched sim.Scheduler
+	links := []*link.DVSLink{
+		link.NewDVSLink(tab, &sched, 0),
+		link.NewDVSLink(tab, &sched, tab.Top()),
+	}
+	m := NewMeter(tab, links, 0)
+	want := tab.PowerW[0] + tab.PowerW[tab.Top()]
+	if got := m.InstantPowerW(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("instant power = %g, want %g", got, want)
+	}
+}
+
+func TestRouterEnergyModelCalibration(t *testing.T) {
+	tab := table(t)
+	m := NewRouterEnergyModel(tab, 4, sim.Nanosecond)
+	// At full tilt the model reproduces the Figure 7 core power (total
+	// minus links).
+	b := RouterBreakdown(tab, 4)
+	core := Total(b) - b[0].Watts
+	if got := m.FullTiltPowerW(4, sim.Nanosecond); math.Abs(got-core) > 1e-9 {
+		t.Errorf("full-tilt core power = %g, want %g", got, core)
+	}
+	// All per-event energies positive, clock static positive.
+	if m.BufWriteJ <= 0 || m.BufReadJ <= 0 || m.CrossbarJ <= 0 || m.ArbGrantJ <= 0 || m.ClockW <= 0 {
+		t.Errorf("non-positive energy components: %+v", m)
+	}
+	// The paper's argument: arbitration is the cheapest event by far.
+	if m.ArbGrantJ*10 > m.BufWriteJ {
+		t.Errorf("arbitration energy %g not << buffer write %g", m.ArbGrantJ, m.BufWriteJ)
+	}
+}
+
+func TestRouterEnergyAccumulation(t *testing.T) {
+	tab := table(t)
+	m := NewRouterEnergyModel(tab, 4, sim.Nanosecond)
+	a := router.Activity{BufWrites: 1000, BufReads: 1000, Crossbar: 1000, ArbGrants: 2000}
+	e := m.EnergyJ(a, sim.Microsecond)
+	want := 1000*(m.BufWriteJ+m.BufReadJ+m.CrossbarJ) + 2000*m.ArbGrantJ + m.ClockW*1e-6
+	if math.Abs(e-want) > 1e-15 {
+		t.Errorf("energy = %g, want %g", e, want)
+	}
+	// Idle router burns only clock power.
+	idle := m.EnergyJ(router.Activity{}, sim.Millisecond)
+	if math.Abs(idle-m.ClockW*1e-3) > 1e-15 {
+		t.Errorf("idle energy = %g, want clock only", idle)
+	}
+}

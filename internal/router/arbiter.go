@@ -1,0 +1,28 @@
+// Package router implements the paper's pipelined virtual-channel router
+// (Section 4.2): per-VC input buffering, route computation, separable
+// round-robin virtual-channel and switch allocation, crossbar traversal
+// with a configurable pipeline depth (13 stages to match the Alpha
+// 21364-style router), and credit-based flow control.
+package router
+
+// arbiter is a round-robin arbiter over n requesters, the arbitration
+// primitive the paper's separable allocators are built from.
+type arbiter struct {
+	n    int
+	last int
+}
+
+func newArbiter(n int) *arbiter { return &arbiter{n: n, last: n - 1} }
+
+// pick grants one of the requesting indices, rotating priority from just
+// past the previous grant. It returns -1 when nothing requests.
+func (a *arbiter) pick(requests []bool) int {
+	for i := 1; i <= a.n; i++ {
+		c := (a.last + i) % a.n
+		if requests[c] {
+			a.last = c
+			return c
+		}
+	}
+	return -1
+}

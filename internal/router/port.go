@@ -1,0 +1,227 @@
+package router
+
+import (
+	"repro/internal/flow"
+	"repro/internal/link"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// bufEntry is one buffered flit with its arrival instant, kept for the
+// paper's input-buffer age measure (Eq. 4).
+type bufEntry struct {
+	flit      *flow.Flit
+	arrivedAt sim.Time
+}
+
+// vcStage is the pipeline stage an input VC's front packet occupies.
+type vcStage uint8
+
+const (
+	vcIdle      vcStage = iota // no packet being routed
+	vcWaitingVC                // route computed, waiting for VC allocation
+	vcActive                   // output VC held; flits stream through SA
+)
+
+// inputVC is one virtual channel of an input port.
+type inputVC struct {
+	buf   []bufEntry
+	stage vcStage
+
+	// Route computation result (valid in vcWaitingVC).
+	candidates []routing.Candidate
+
+	// Allocation result (valid in vcActive).
+	outPort, outVC int
+}
+
+func (v *inputVC) empty() bool { return len(v.buf) == 0 }
+
+func (v *inputVC) front() *bufEntry {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return &v.buf[0]
+}
+
+func (v *inputVC) pop() bufEntry {
+	e := v.buf[0]
+	v.buf[0] = bufEntry{}
+	v.buf = v.buf[1:]
+	return e
+}
+
+// InputPort holds the per-VC buffers of one router input and the
+// instrumentation behind the paper's buffer-age measure.
+type InputPort struct {
+	vcs      []*inputVC
+	bufPerVC int
+
+	// creditFn returns one credit to the upstream output port for vc; the
+	// network installs it with the reverse channel's latency baked in. Nil
+	// for injection ports (the source queue needs no credits).
+	creditFn func(vc int, now sim.Time)
+
+	// Buffer-age window accounting (Eq. 4).
+	windowResidency sim.Duration
+	windowDeparted  int
+
+	// Writes counts buffered flits over the port's lifetime (for the
+	// router energy model).
+	Writes int64
+}
+
+func newInputPort(vcs, bufPerVC int) *InputPort {
+	p := &InputPort{vcs: make([]*inputVC, vcs), bufPerVC: bufPerVC}
+	for i := range p.vcs {
+		p.vcs[i] = &inputVC{}
+	}
+	return p
+}
+
+// Free reports the free buffer slots of one VC.
+func (p *InputPort) Free(vc int) int { return p.bufPerVC - len(p.vcs[vc].buf) }
+
+// Occupied reports the total buffered flits across VCs.
+func (p *InputPort) Occupied() int {
+	n := 0
+	for _, v := range p.vcs {
+		n += len(v.buf)
+	}
+	return n
+}
+
+// Arrive buffers a flit on its virtual channel at time now. The upstream
+// router's credit accounting guarantees space; overflow is a protocol bug
+// and panics.
+func (p *InputPort) Arrive(f *flow.Flit, now sim.Time) {
+	v := p.vcs[f.VC]
+	if len(v.buf) >= p.bufPerVC {
+		panic("router: input VC overflow — credit protocol violated")
+	}
+	v.buf = append(v.buf, bufEntry{flit: f, arrivedAt: now})
+	p.Writes++
+}
+
+// TakeAgeWindow returns (sum of residencies, departures) accumulated since
+// the last call and resets the window.
+func (p *InputPort) TakeAgeWindow() (sim.Duration, int) {
+	r, n := p.windowResidency, p.windowDeparted
+	p.windowResidency, p.windowDeparted = 0, 0
+	return r, n
+}
+
+// outVCState tracks wormhole ownership of one output virtual channel.
+type outVCState struct {
+	held         bool
+	inPort, inVC int
+	credits      int
+}
+
+// TxEntry is a flit that has traversed the crossbar and is progressing
+// through the router's output pipeline toward the link.
+type TxEntry struct {
+	flit    *flow.Flit
+	readyAt sim.Time
+}
+
+// Flit reports the entry's flit.
+func (e TxEntry) Flit() *flow.Flit { return e.flit }
+
+// ReadyAt reports when the flit clears the output pipeline and may enter
+// the link.
+func (e TxEntry) ReadyAt() sim.Time { return e.readyAt }
+
+// OutputPort holds one router output: per-VC credit counters for the
+// downstream input buffers, the post-crossbar pipeline queue, the DVS link
+// (nil for the ejection port), and the occupancy integral behind the
+// paper's buffer-utilization measure.
+type OutputPort struct {
+	vcs  []*outVCState
+	Link *link.DVSLink // nil for ejection or unconnected ports
+
+	infiniteCredits bool // ejection port: the sink always accepts
+
+	tx []TxEntry
+
+	// Downstream buffer occupancy (capacity - credits) integrated over
+	// time; BU = integral / (slots * window).
+	totalSlots  int
+	occupied    int
+	occIntegral sim.Duration
+	lastOccAt   sim.Time
+}
+
+func newOutputPort(vcs, bufPerVC int, infinite bool) *OutputPort {
+	p := &OutputPort{
+		vcs:             make([]*outVCState, vcs),
+		infiniteCredits: infinite,
+		totalSlots:      vcs * bufPerVC,
+	}
+	for i := range p.vcs {
+		p.vcs[i] = &outVCState{credits: bufPerVC}
+	}
+	return p
+}
+
+// hasCredit reports whether one downstream slot is available on vc.
+func (p *OutputPort) hasCredit(vc int) bool {
+	return p.infiniteCredits || p.vcs[vc].credits > 0
+}
+
+// takeCredit consumes one downstream slot on vc at time now.
+func (p *OutputPort) takeCredit(vc int, now sim.Time) {
+	if p.infiniteCredits {
+		return
+	}
+	p.vcs[vc].credits--
+	p.noteOccupancy(now, +1)
+}
+
+// ReturnCredit restores one downstream slot on vc at time now. It is
+// exported because credits arrive via network-scheduled events.
+func (p *OutputPort) ReturnCredit(vc int, now sim.Time) {
+	if p.infiniteCredits {
+		return
+	}
+	p.vcs[vc].credits++
+	p.noteOccupancy(now, -1)
+}
+
+func (p *OutputPort) noteOccupancy(now sim.Time, delta int) {
+	if now > p.lastOccAt {
+		p.occIntegral += sim.Duration(p.occupied) * (now - p.lastOccAt)
+		p.lastOccAt = now
+	}
+	p.occupied += delta
+}
+
+// TakeOccupancyIntegral returns the occupancy integral (slot-picoseconds)
+// accumulated since the last call, accrued through now, and resets it.
+func (p *OutputPort) TakeOccupancyIntegral(now sim.Time) sim.Duration {
+	p.noteOccupancy(now, 0)
+	v := p.occIntegral
+	p.occIntegral = 0
+	return v
+}
+
+// TotalSlots reports the downstream buffer capacity this port tracks.
+func (p *OutputPort) TotalSlots() int { return p.totalSlots }
+
+// Occupied reports the instantaneous downstream occupancy estimate.
+func (p *OutputPort) OccupiedSlots() int { return p.occupied }
+
+// QueuedTx reports the flits waiting in the output pipeline.
+func (p *OutputPort) QueuedTx() int { return len(p.tx) }
+
+// Tx exposes the output pipeline queue (front first). Callers must not
+// modify it; use PopTx to consume.
+func (p *OutputPort) Tx() []TxEntry { return p.tx }
+
+// PopTx removes and returns the front entry.
+func (p *OutputPort) PopTx() TxEntry {
+	e := p.tx[0]
+	p.tx[0] = TxEntry{}
+	p.tx = p.tx[1:]
+	return e
+}

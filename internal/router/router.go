@@ -1,0 +1,335 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Config sizes a router. NewConfig returns the paper's setup.
+type Config struct {
+	// Ports is the number of router ports including the local
+	// injection/ejection port 0.
+	Ports int
+	// VCs is the number of virtual channels per port (paper: 2).
+	VCs int
+	// BufPerPort is the flit buffer capacity of one input port, divided
+	// evenly among its VCs (paper: 128).
+	BufPerPort int
+	// PipelineDepth is the head-flit latency through router plus link at
+	// full link speed, in router cycles (paper: 13, like the Alpha 21364's
+	// integrated router). Three cycles are the RC/VA/SA allocation stages;
+	// the remainder models switch traversal and the deep physical pipeline.
+	PipelineDepth int
+}
+
+// NewConfig returns the paper's router configuration for a given port
+// count.
+func NewConfig(ports int) Config {
+	return Config{Ports: ports, VCs: 2, BufPerPort: 128, PipelineDepth: 13}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Ports < 2:
+		return fmt.Errorf("router: need >= 2 ports, got %d", c.Ports)
+	case c.VCs < 1:
+		return fmt.Errorf("router: need >= 1 VC, got %d", c.VCs)
+	case c.BufPerPort < c.VCs:
+		return fmt.Errorf("router: %d buffers cannot cover %d VCs", c.BufPerPort, c.VCs)
+	case c.PipelineDepth < 4:
+		return fmt.Errorf("router: pipeline depth %d < 4 (RC+VA+SA+ST)", c.PipelineDepth)
+	}
+	return nil
+}
+
+// BufPerVC reports the per-VC share of the input buffer.
+func (c Config) BufPerVC() int { return c.BufPerPort / c.VCs }
+
+// Router is one pipelined virtual-channel router. The network layer owns
+// flit transport: it calls Arrive on input ports, Tick once per router
+// cycle, and drains output-port tx queues onto links.
+type Router struct {
+	ID  int
+	Cfg Config
+
+	Inputs  []*InputPort
+	Outputs []*OutputPort
+
+	// RouteFn computes admissible outputs for a head flit's packet at this
+	// router; the network installs it with topology and algorithm bound.
+	RouteFn func(p *flow.Packet) []routing.Candidate
+
+	inputArb []*arbiter // per input port, over its VCs (SA input stage)
+	saArb    []*arbiter // per output port, over input ports (SA output stage)
+	vaArb    []*arbiter // per output port*VC, over global input VCs
+
+	// Per-tick scratch buffers, reused to keep the hot loop allocation-free.
+	scNominee []int
+	scVCReq   []bool
+	scOutReq  []bool
+	scWants   [][]int
+	scVAReq   []bool
+
+	// Counters for instrumentation and the router energy model.
+	FlitsSwitched int64
+	// Activity tallies every energy-bearing micro-event: buffer writes
+	// (flit arrivals), buffer reads (flits leaving through the crossbar),
+	// crossbar traversals and arbiter grants.
+	Activity Activity
+}
+
+// Activity counts a router's energy-bearing events (see
+// internal/power.RouterEnergyModel).
+type Activity struct {
+	BufWrites int64
+	BufReads  int64
+	Crossbar  int64
+	ArbGrants int64
+}
+
+// Add accumulates another activity tally.
+func (a *Activity) Add(b Activity) {
+	a.BufWrites += b.BufWrites
+	a.BufReads += b.BufReads
+	a.Crossbar += b.Crossbar
+	a.ArbGrants += b.ArbGrants
+}
+
+// New constructs a router. The ejection port (port 0) gets infinite
+// credits: the paper assumes immediate ejection at the destination.
+func New(id int, cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{ID: id, Cfg: cfg}
+	for p := 0; p < cfg.Ports; p++ {
+		r.Inputs = append(r.Inputs, newInputPort(cfg.VCs, cfg.BufPerVC()))
+		r.Outputs = append(r.Outputs, newOutputPort(cfg.VCs, cfg.BufPerVC(), p == 0))
+		r.inputArb = append(r.inputArb, newArbiter(cfg.VCs))
+		r.saArb = append(r.saArb, newArbiter(cfg.Ports))
+	}
+	for i := 0; i < cfg.Ports*cfg.VCs; i++ {
+		r.vaArb = append(r.vaArb, newArbiter(cfg.Ports*cfg.VCs))
+	}
+	r.scNominee = make([]int, cfg.Ports)
+	r.scVCReq = make([]bool, cfg.VCs)
+	r.scOutReq = make([]bool, cfg.Ports)
+	r.scWants = make([][]int, cfg.Ports*cfg.VCs)
+	r.scVAReq = make([]bool, cfg.Ports*cfg.VCs)
+	return r, nil
+}
+
+// SetCreditReturn installs the upstream credit path for one input port.
+func (r *Router) SetCreditReturn(port int, fn func(vc int, now sim.Time)) {
+	r.Inputs[port].creditFn = fn
+}
+
+// Tick advances the router's allocation pipeline one cycle. Stages execute
+// in reverse order (SA, then VA, then RC) so a flit needs one cycle per
+// stage, as in a real pipeline. period is the router clock period.
+func (r *Router) Tick(now sim.Time, period sim.Duration) {
+	r.switchAllocation(now, period)
+	r.vcAllocation()
+	r.routeComputation()
+}
+
+// switchAllocation is the separable SA stage plus switch traversal:
+// input-first round-robin among each port's eligible VCs, then output-side
+// round-robin among competing input ports. Winners leave their input
+// buffer, consume a downstream credit, return an upstream credit, and enter
+// the output pipeline.
+func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
+	// Input stage: each input port nominates one VC. Idle ports (the
+	// common case network-wide) skip arbitration entirely.
+	nominee := r.scNominee // VC index per input port, -1 none
+	requests := r.scVCReq
+	anyNominee := false
+	for i, in := range r.Inputs {
+		anyReq := false
+		for v, vc := range in.vcs {
+			req := vc.stage == vcActive && !vc.empty() &&
+				r.Outputs[vc.outPort].hasCredit(vc.outVC)
+			requests[v] = req
+			anyReq = anyReq || req
+		}
+		if !anyReq {
+			nominee[i] = -1
+			continue
+		}
+		nominee[i] = r.inputArb[i].pick(requests)
+		r.Activity.ArbGrants++
+		anyNominee = true
+	}
+	if !anyNominee {
+		return
+	}
+	// Output stage: each output port grants one input port.
+	outReq := r.scOutReq
+	for p := range r.Outputs {
+		anyReq := false
+		for i := range r.Inputs {
+			req := nominee[i] >= 0 && r.Inputs[i].vcs[nominee[i]].outPort == p
+			outReq[i] = req
+			anyReq = anyReq || req
+		}
+		if !anyReq {
+			continue
+		}
+		winner := r.saArb[p].pick(outReq)
+		if winner < 0 {
+			continue
+		}
+		r.Activity.ArbGrants++
+		r.traverse(winner, nominee[winner], now, period)
+	}
+}
+
+// traverse moves the front flit of input (i, v) through the crossbar.
+func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
+	in := r.Inputs[i]
+	vc := in.vcs[v]
+	out := r.Outputs[vc.outPort]
+
+	e := vc.pop()
+	f := e.flit
+	inVC := f.VC // the VC the flit occupied here, for the upstream credit
+
+	// Buffer-age instrumentation (Eq. 4).
+	in.windowResidency += now - e.arrivedAt
+	in.windowDeparted++
+
+	// Downstream slot reservation and upstream slot release.
+	out.takeCredit(vc.outVC, now)
+	if in.creditFn != nil {
+		in.creditFn(inVC, now)
+	}
+
+	f.VC = vc.outVC
+	extra := sim.Duration(r.Cfg.PipelineDepth-3) * period
+	out.tx = append(out.tx, TxEntry{flit: f, readyAt: now + extra})
+	r.FlitsSwitched++
+	r.Activity.BufReads++
+	r.Activity.Crossbar++
+
+	if f.Kind == flow.Tail {
+		out.vcs[vc.outVC].held = false
+		vc.stage = vcIdle
+		vc.candidates = nil
+	}
+}
+
+// vcAllocation is the separable VA stage: each waiting input VC nominates
+// its best free (output port, output VC) pair, then a per-output-VC
+// round-robin arbiter grants among contenders.
+func (r *Router) vcAllocation() {
+	cfg := r.Cfg
+	// wants[key] lists global input-VC ids nominating output VC key;
+	// iterated by key index to keep allocation deterministic.
+	wants := r.scWants
+	for i := range wants {
+		wants[i] = wants[i][:0]
+	}
+	any := false
+	for i, in := range r.Inputs {
+		for v, vc := range in.vcs {
+			if vc.stage != vcWaitingVC {
+				continue
+			}
+			p, ov, ok := r.nominate(vc)
+			if !ok {
+				continue
+			}
+			g := i*cfg.VCs + v
+			wants[p*cfg.VCs+ov] = append(wants[p*cfg.VCs+ov], g)
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	reqs := r.scVAReq
+	for key, contenders := range wants {
+		if len(contenders) == 0 {
+			continue
+		}
+		for i := range reqs {
+			reqs[i] = false
+		}
+		for _, g := range contenders {
+			reqs[g] = true
+		}
+		g := r.vaArb[key].pick(reqs)
+		if g < 0 {
+			continue
+		}
+		r.Activity.ArbGrants++
+		i, v := g/cfg.VCs, g%cfg.VCs
+		vc := r.Inputs[i].vcs[v]
+		vc.stage = vcActive
+		vc.outPort, vc.outVC = key/cfg.VCs, key%cfg.VCs
+		st := r.Outputs[vc.outPort].vcs[vc.outVC]
+		st.held = true
+		st.inPort, st.inVC = i, v
+	}
+}
+
+// nominate picks the preferred free (port, VC) among a waiting VC's route
+// candidates: the candidate output with the most downstream credits
+// (adaptive congestion avoidance; ties and deterministic routes fall back
+// to candidate order), and within it the first free admissible VC.
+func (r *Router) nominate(vc *inputVC) (port, outVC int, ok bool) {
+	bestScore := -1
+	for _, cand := range vc.candidates {
+		out := r.Outputs[cand.Port]
+		for _, ov := range cand.VCs {
+			if out.vcs[ov].held {
+				continue
+			}
+			score := out.vcs[ov].credits
+			if out.infiniteCredits {
+				score = 1 << 30
+			}
+			if score > bestScore {
+				bestScore = score
+				port, outVC, ok = cand.Port, ov, true
+			}
+			break // first free VC in admissible order is the port's offer
+		}
+	}
+	return port, outVC, ok
+}
+
+// routeComputation is the RC stage: idle VCs with a head flit at the front
+// compute their admissible outputs.
+func (r *Router) routeComputation() {
+	for _, in := range r.Inputs {
+		for _, vc := range in.vcs {
+			if vc.stage != vcIdle || vc.empty() {
+				continue
+			}
+			f := vc.front().flit
+			if f.Kind != flow.Head {
+				panic(fmt.Sprintf("router %d: %v at front of idle VC", r.ID, f))
+			}
+			vc.candidates = r.RouteFn(f.Packet)
+			if len(vc.candidates) == 0 {
+				panic(fmt.Sprintf("router %d: no route for %v", r.ID, f))
+			}
+			vc.stage = vcWaitingVC
+		}
+	}
+}
+
+// ActivitySnapshot reports the router's cumulative energy-bearing activity,
+// folding per-port buffer writes into the tally.
+func (r *Router) ActivitySnapshot() Activity {
+	a := r.Activity
+	for _, in := range r.Inputs {
+		a.BufWrites += in.Writes
+	}
+	return a
+}

@@ -1,0 +1,481 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+const period = sim.Nanosecond
+
+// testRouter builds a small router whose RouteFn always sends packets to
+// output port `out` on any VC.
+func testRouter(t *testing.T, cfg Config, out int) *Router {
+	t.Helper()
+	r, err := New(7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RouteFn = func(*flow.Packet) []routing.Candidate {
+		return []routing.Candidate{{Port: out, VCs: []int{0, 1}}}
+	}
+	return r
+}
+
+// makePacket builds a packet's flit train assigned to input VC vc.
+func makePacket(id int64, vc int) []*flow.Flit {
+	p := &flow.Packet{ID: id, Src: 0, Dst: 1}
+	flits := flow.NewPacketFlits(p)
+	for _, f := range flits {
+		f.VC = vc
+	}
+	return flits
+}
+
+// tickN advances the router n cycles starting at cycle c0.
+func tickN(r *Router, c0, n int) {
+	for c := c0; c < c0+n; c++ {
+		r.Tick(sim.Time(c)*period, period)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig(5).Validate(); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+	bad := []Config{
+		{Ports: 1, VCs: 2, BufPerPort: 8, PipelineDepth: 13},
+		{Ports: 5, VCs: 0, BufPerPort: 8, PipelineDepth: 13},
+		{Ports: 5, VCs: 4, BufPerPort: 2, PipelineDepth: 13},
+		{Ports: 5, VCs: 2, BufPerPort: 8, PipelineDepth: 3},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if got := NewConfig(5).BufPerVC(); got != 64 {
+		t.Errorf("BufPerVC = %d, want 64", got)
+	}
+}
+
+func TestHeadFlitThreeStagePipeline(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	flits := makePacket(1, 0)
+	r.Inputs[1].Arrive(flits[0], 0)
+
+	// Cycle 0: RC only. Cycle 1: VA. Cycle 2: SA + traversal.
+	r.Tick(0, period)
+	if got := r.Inputs[1].vcs[0].stage; got != vcWaitingVC {
+		t.Fatalf("after cycle 0: stage = %v, want waiting-VC", got)
+	}
+	r.Tick(period, period)
+	if got := r.Inputs[1].vcs[0].stage; got != vcActive {
+		t.Fatalf("after cycle 1: stage = %v, want active", got)
+	}
+	if len(r.Outputs[2].tx) != 0 {
+		t.Fatal("flit traversed before SA cycle")
+	}
+	r.Tick(2*period, period)
+	if len(r.Outputs[2].tx) != 1 {
+		t.Fatal("flit did not traverse at SA cycle")
+	}
+	// Ready after the deep pipeline: SA at t=2ns + (13-3) ns = 12ns.
+	if got := r.Outputs[2].tx[0].readyAt; got != 12*period {
+		t.Errorf("readyAt = %v, want 12ns", got)
+	}
+}
+
+func TestWholePacketStreamsAndReleasesVC(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 10, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 7) // RC+VA+5 SA cycles
+	if got := len(r.Outputs[2].tx); got != flow.FlitsPerPacket {
+		t.Fatalf("transmitted %d flits, want %d", got, flow.FlitsPerPacket)
+	}
+	// Tail must release the output VC and return the input VC to idle.
+	ov := r.Outputs[2].tx[0].flit.VC
+	if r.Outputs[2].vcs[ov].held {
+		t.Error("output VC still held after tail")
+	}
+	if got := r.Inputs[1].vcs[0].stage; got != vcIdle {
+		t.Errorf("input VC stage = %v, want idle", got)
+	}
+	// Flits stay in order and on one VC.
+	for i, e := range r.Outputs[2].tx {
+		if e.flit.Seq != i {
+			t.Errorf("tx[%d] is seq %d", i, e.flit.Seq)
+		}
+		if e.flit.VC != ov {
+			t.Errorf("flit %d switched VC mid-packet", i)
+		}
+	}
+}
+
+func TestOnePacketPerCyclePerOutput(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 10, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	// Two packets on different input ports, both heading to output 2.
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[0].Arrive(f, 0)
+	}
+	for _, f := range makePacket(2, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	prev := 0
+	for c := 0; c < 16; c++ {
+		r.Tick(sim.Time(c)*period, period)
+		got := len(r.Outputs[2].tx)
+		if got-prev > 1 {
+			t.Fatalf("cycle %d: output port accepted %d flits in one cycle", c, got-prev)
+		}
+		prev = got
+	}
+	if prev != 2*flow.FlitsPerPacket {
+		t.Errorf("total flits = %d, want %d", prev, 2*flow.FlitsPerPacket)
+	}
+}
+
+func TestSwitchAllocationRoundRobinFair(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 20, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	// Saturate both input ports with packets on both VCs.
+	id := int64(0)
+	for in := 0; in < 2; in++ {
+		for vc := 0; vc < 2; vc++ {
+			id++
+			for _, f := range makePacket(id, vc) {
+				r.Inputs[in].Arrive(f, 0)
+			}
+		}
+	}
+	tickN(r, 0, 30)
+	// Both packets' flits interleave: count per input port of the first 10
+	// transmitted flits (after both are active).
+	counts := map[int64]int{}
+	for _, e := range r.Outputs[2].tx {
+		counts[e.flit.Packet.ID]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("only %d packets made progress", len(counts))
+	}
+}
+
+func TestCreditExhaustionBlocksSA(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 20, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	// Pre-consume downstream credits so each output VC has only 2 left.
+	for vc := 0; vc < 2; vc++ {
+		for i := 0; i < cfg.BufPerVC()-2; i++ {
+			r.Outputs[2].takeCredit(vc, 0)
+		}
+	}
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 10)
+	// Only 2 flits can go: credits for the chosen output VC run out.
+	if got := len(r.Outputs[2].tx); got != 2 {
+		t.Fatalf("transmitted %d flits with 2 credits, want 2", got)
+	}
+	// Returning one credit releases exactly one more flit.
+	ov := r.Outputs[2].tx[0].flit.VC
+	r.Outputs[2].ReturnCredit(ov, 10*period)
+	tickN(r, 10, 3)
+	if got := len(r.Outputs[2].tx); got != 3 {
+		t.Errorf("after credit return: %d flits, want 3", got)
+	}
+}
+
+func TestUpstreamCreditReturnedOnTraversal(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	var credits []int
+	r.SetCreditReturn(1, func(vc int, _ sim.Time) { credits = append(credits, vc) })
+	for _, f := range makePacket(1, 1) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 8)
+	if len(credits) != flow.FlitsPerPacket {
+		t.Fatalf("returned %d credits, want %d", len(credits), flow.FlitsPerPacket)
+	}
+	for _, vc := range credits {
+		if vc != 1 {
+			t.Errorf("credit for VC %d, want 1 (arrival VC)", vc)
+		}
+	}
+}
+
+func TestEjectionPortHasInfiniteCredits(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 40, PipelineDepth: 13}
+	r := testRouter(t, cfg, 0) // route to ejection
+	for i := int64(0); i < 4; i++ {
+		for _, f := range makePacket(i, int(i)%2) {
+			r.Inputs[1].Arrive(f, 0)
+		}
+	}
+	tickN(r, 0, 40)
+	if got := len(r.Outputs[0].tx); got != 4*flow.FlitsPerPacket {
+		t.Errorf("ejected %d flits, want %d (no credit limit)", got, 4*flow.FlitsPerPacket)
+	}
+}
+
+func TestBufferAgeWindow(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	r.Inputs[1].Arrive(makePacket(1, 0)[0], 0)
+	tickN(r, 0, 3) // head departs at SA in cycle 2 (t = 2ns)
+	res, n := r.Inputs[1].TakeAgeWindow()
+	if n != 1 {
+		t.Fatalf("departures = %d, want 1", n)
+	}
+	if res != 2*period {
+		t.Errorf("residency = %v, want 2ns", res)
+	}
+	// Window resets.
+	if res2, n2 := r.Inputs[1].TakeAgeWindow(); res2 != 0 || n2 != 0 {
+		t.Error("age window did not reset")
+	}
+}
+
+func TestOccupancyIntegral(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	out := r.Outputs[2]
+	// Simulate: one downstream slot occupied from t=0 to t=100ns.
+	out.takeCredit(0, 0)
+	out.ReturnCredit(0, 100*period)
+	got := out.TakeOccupancyIntegral(100 * period)
+	if got != 100*period {
+		t.Errorf("occupancy integral = %v, want 100ns", got)
+	}
+	if out.OccupiedSlots() != 0 {
+		t.Errorf("occupied = %d, want 0", out.OccupiedSlots())
+	}
+}
+
+func TestArriveOverflowPanics(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 2, PipelineDepth: 13} // 1/VC
+	r := testRouter(t, cfg, 2)
+	r.Inputs[1].Arrive(makePacket(1, 0)[0], 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	r.Inputs[1].Arrive(makePacket(2, 0)[0], 0)
+}
+
+func TestNominatePrefersCreditRichPort(t *testing.T) {
+	cfg := Config{Ports: 5, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
+	r, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive-style route: two candidate ports; port 3 has fewer credits.
+	r.RouteFn = func(*flow.Packet) []routing.Candidate {
+		return []routing.Candidate{
+			{Port: 3, VCs: []int{0, 1}},
+			{Port: 4, VCs: []int{0, 1}},
+		}
+	}
+	r.Outputs[3].takeCredit(0, 0)
+	r.Outputs[3].takeCredit(0, 0)
+	r.Outputs[3].takeCredit(1, 0)
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 3)
+	vc := r.Inputs[1].vcs[0]
+	if vc.stage != vcActive || vc.outPort != 4 {
+		t.Errorf("allocated port %d (stage %v), want credit-rich port 4", vc.outPort, vc.stage)
+	}
+}
+
+func TestVCAllocationDistinctVCsForCompetingPackets(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[0].Arrive(f, 0)
+	}
+	for _, f := range makePacket(2, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 3)
+	a, b := r.Inputs[0].vcs[0], r.Inputs[1].vcs[0]
+	if a.stage != vcActive || b.stage != vcActive {
+		t.Fatalf("stages = %v, %v; want both active (2 output VCs available)", a.stage, b.stage)
+	}
+	if a.outVC == b.outVC {
+		t.Error("two packets allocated the same output VC")
+	}
+}
+
+func TestStrayBodyFlitPanics(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	body := makePacket(1, 0)[1]
+	r.Inputs[1].Arrive(body, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for body flit at idle VC front")
+		}
+	}()
+	r.Tick(0, period)
+}
+
+// TestRouterConservationProperty: random packets fed through a router with
+// random credit returns neither lose nor duplicate flits.
+func TestRouterConservationProperty(t *testing.T) {
+	cfg := Config{Ports: 5, VCs: 2, BufPerPort: 16, PipelineDepth: 13}
+	rng := sim.NewRNG(7)
+	r, err := New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RouteFn = func(p *flow.Packet) []routing.Candidate {
+		// Derive a stable pseudo-random output from the packet id.
+		out := 1 + int(p.ID)%4
+		return []routing.Candidate{{Port: out, VCs: []int{0, 1}}}
+	}
+	injected, forwarded := 0, 0
+	inflight := map[int]int{} // per input port per VC pending flits
+	var id int64
+	for cycle := 0; cycle < 5000; cycle++ {
+		now := sim.Time(cycle) * sim.Nanosecond
+		// Random injection into a random input port/VC with space for a
+		// whole packet.
+		if rng.Intn(4) == 0 {
+			in := rng.Intn(4) + 1
+			vc := rng.Intn(2)
+			key := in*2 + vc
+			if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket && inflight[key] == 0 {
+				id++
+				p := flow.NewPacket(id, 0, 1, now, -1)
+				for _, f := range flow.NewPacketFlits(p) {
+					f.VC = vc
+					r.Inputs[in].Arrive(f, now)
+				}
+				injected += flow.FlitsPerPacket
+			}
+		}
+		r.Tick(now, sim.Nanosecond)
+		// Drain output pipelines and randomly return credits.
+		for p := 1; p < cfg.Ports; p++ {
+			out := r.Outputs[p]
+			for out.QueuedTx() > 0 {
+				e := out.PopTx()
+				forwarded++
+				if rng.Intn(2) == 0 {
+					out.ReturnCredit(e.Flit().VC, now)
+				} else {
+					later := e.Flit().VC
+					defer out.ReturnCredit(later, now) // return rest at the end
+				}
+			}
+		}
+	}
+	// Let the router drain whatever credits remain.
+	buffered := 0
+	for p := 0; p < cfg.Ports; p++ {
+		buffered += r.Inputs[p].Occupied()
+	}
+	if forwarded+buffered != injected {
+		t.Errorf("conservation violated: injected %d, forwarded %d, buffered %d",
+			injected, forwarded, buffered)
+	}
+}
+
+// TestVCAllocationFairness: two packets contending for the same output
+// port's VCs both eventually get one (no starvation under round-robin VA).
+func TestVCAllocationFairness(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 40, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	// Stream many packets from both inputs to output 2; track per-input
+	// forwarded flits over a long window.
+	id := int64(0)
+	feed := func(in int, now sim.Time) {
+		for vc := 0; vc < 2; vc++ {
+			if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket {
+				id++
+				for _, f := range makePacket(id, vc) {
+					f.Packet.Src = in
+					r.Inputs[in].Arrive(f, now)
+				}
+				return
+			}
+		}
+	}
+	counts := map[int]int{}
+	for c := 0; c < 2000; c++ {
+		now := sim.Time(c) * period
+		feed(0, now)
+		feed(1, now)
+		r.Tick(now, period)
+		out := r.Outputs[2]
+		for out.QueuedTx() > 0 {
+			e := out.PopTx()
+			counts[e.Flit().Packet.Src]++
+			out.ReturnCredit(e.Flit().VC, now)
+		}
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("starvation: counts = %v", counts)
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair split %v (ratio %.2f)", counts, ratio)
+	}
+}
+
+// TestBodyFlitsCannotOvertake: with two active VCs on one input port,
+// each VC's flits keep their internal order at the output.
+func TestBodyFlitsCannotOvertake(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 20, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	for vc := 0; vc < 2; vc++ {
+		for _, f := range makePacket(int64(vc+1), vc) {
+			r.Inputs[1].Arrive(f, 0)
+		}
+	}
+	tickN(r, 0, 20)
+	lastSeq := map[int64]int{1: -1, 2: -1}
+	for _, e := range r.Outputs[2].Tx() {
+		f := e.Flit()
+		if f.Seq <= lastSeq[f.Packet.ID] {
+			t.Fatalf("packet %d flit %d after flit %d", f.Packet.ID, f.Seq, lastSeq[f.Packet.ID])
+		}
+		lastSeq[f.Packet.ID] = f.Seq
+	}
+	if lastSeq[1] != 4 || lastSeq[2] != 4 {
+		t.Errorf("not all flits forwarded: %v", lastSeq)
+	}
+}
+
+// TestActivityCounters: the energy-model event counters tally the expected
+// micro-events for one packet through one router.
+func TestActivityCounters(t *testing.T) {
+	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
+	r := testRouter(t, cfg, 2)
+	for _, f := range makePacket(1, 0) {
+		r.Inputs[1].Arrive(f, 0)
+	}
+	tickN(r, 0, 10)
+	a := r.ActivitySnapshot()
+	if a.BufWrites != flow.FlitsPerPacket {
+		t.Errorf("buffer writes = %d, want %d", a.BufWrites, flow.FlitsPerPacket)
+	}
+	if a.BufReads != flow.FlitsPerPacket || a.Crossbar != flow.FlitsPerPacket {
+		t.Errorf("reads/crossbar = %d/%d, want %d each", a.BufReads, a.Crossbar, flow.FlitsPerPacket)
+	}
+	// Grants: 1 VA + (input-stage + output-stage) per flit = 1 + 2*5 = 11.
+	if a.ArbGrants != 11 {
+		t.Errorf("arbiter grants = %d, want 11", a.ArbGrants)
+	}
+}

@@ -1,0 +1,196 @@
+// Package routing implements the routing protocols the paper's simulator
+// supports: deterministic dimension-order routing and a minimal-adaptive
+// protocol with a deadlock-free escape virtual channel (Duato-style), plus
+// dateline virtual-channel assignment for tori.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Candidate is one admissible output for a head flit: an output port and
+// the set of downstream virtual channels the packet may acquire there.
+type Candidate struct {
+	Port int
+	VCs  []int
+}
+
+// State is the per-packet routing state a router must carry between hops
+// for dateline virtual-channel assignment on tori. The zero value is not
+// the initial state; use NewState.
+type State struct {
+	// LastDim is the dimension of the packet's previous hop, or -1 before
+	// the first hop.
+	LastDim int
+	// Wrapped reports whether the packet crossed the wraparound (dateline)
+	// channel while traveling LastDim.
+	Wrapped bool
+}
+
+// NewState returns the routing state of a freshly injected packet.
+func NewState() State { return State{LastDim: -1} }
+
+// Advance returns the state after a hop along dim, crossing a wrap channel
+// if wrap is set. Leaving a dimension clears its dateline history: under
+// dimension-order traversal a packet never returns to a finished dimension.
+func (s State) Advance(dim int, wrap bool) State {
+	if dim != s.LastDim {
+		s = State{LastDim: dim}
+	}
+	if wrap {
+		s.Wrapped = true
+	}
+	return s
+}
+
+// Algorithm computes the admissible outputs for a packet at router cur
+// heading to dst. Implementations must be deadlock-free for the topologies
+// they accept and must return at least one candidate for any cur != dst.
+type Algorithm interface {
+	// Route returns admissible (port, VC-set) candidates ordered by
+	// preference. numVCs is the virtual channels per physical channel.
+	// st is the packet's dateline state, maintained by the network layer
+	// via State.Advance; it is only meaningful on tori.
+	Route(t *topology.Cube, cur, dst, numVCs int, st State) []Candidate
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}
+
+func allVCs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// DimensionOrder is deterministic e-cube routing: correct dimension 0
+// first, then dimension 1, and so on (XY routing on a 2D mesh). On tori it
+// applies dateline VC assignment so that wraparound channels cannot close a
+// cycle: virtual channel 0 is used before a packet crosses a dimension's
+// dateline and virtual channel 1 from the dateline hop onward (this
+// requires numVCs >= 2 on tori).
+type DimensionOrder struct{}
+
+// Name implements Algorithm.
+func (DimensionOrder) Name() string { return "dor" }
+
+// Route implements Algorithm.
+func (DimensionOrder) Route(t *topology.Cube, cur, dst, numVCs int, st State) []Candidate {
+	if cur == dst {
+		return []Candidate{{Port: topology.LocalPort, VCs: allVCs(numVCs)}}
+	}
+	for d := 0; d < t.N(); d++ {
+		cx, dx := t.Coord(cur, d), t.Coord(dst, d)
+		if cx == dx {
+			continue
+		}
+		dir := directionIn(t, cx, dx)
+		port := t.PortFor(d, dir)
+		if !t.Torus() {
+			return []Candidate{{Port: port, VCs: allVCs(numVCs)}}
+		}
+		wrapped := st.Wrapped && st.LastDim == d
+		return []Candidate{{Port: port, VCs: datelineVCs(t, cx, dir, wrapped, numVCs)}}
+	}
+	return []Candidate{{Port: topology.LocalPort, VCs: allVCs(numVCs)}}
+}
+
+// directionIn picks the travel direction along one dimension: the only
+// productive one on a mesh, the shorter way around on a torus (ties go
+// Plus).
+func directionIn(t *topology.Cube, cx, dx int) topology.Direction {
+	if !t.Torus() {
+		if dx > cx {
+			return topology.Plus
+		}
+		return topology.Minus
+	}
+	fwd := (dx - cx + t.K()) % t.K() // hops going Plus
+	bwd := (cx - dx + t.K()) % t.K() // hops going Minus
+	if fwd <= bwd {
+		return topology.Plus
+	}
+	return topology.Minus
+}
+
+// datelineVCs selects the dateline virtual-channel class for torus travel
+// within a dimension. Travelling Plus, the dateline is the k-1 -> 0 wrap
+// edge: a packet rides VC 0 until the hop that crosses the dateline; that
+// hop and every later hop in the dimension ride VC 1. The Minus direction
+// mirrors this around the 0 -> k-1 wrap edge. VC 0 therefore never uses a
+// wrap edge and VC 1 only uses the wrap edge plus the (minimal-length)
+// post-wrap prefix of the ring, so neither virtual layer can close a cycle.
+func datelineVCs(t *topology.Cube, cx int, dir topology.Direction, wrapped bool, numVCs int) []int {
+	if numVCs < 2 {
+		panic("routing: torus dimension-order routing needs >= 2 VCs")
+	}
+	if wrapped {
+		return []int{1}
+	}
+	// The hop leaving the last coordinate in the direction of travel is the
+	// dateline crossing itself and already belongs to the post-wrap class.
+	if (dir == topology.Plus && cx == t.K()-1) || (dir == topology.Minus && cx == 0) {
+		return []int{1}
+	}
+	return []int{0}
+}
+
+// MinimalAdaptive is a Duato-protocol minimal-adaptive router for meshes:
+// a packet may route along any productive dimension using the adaptive
+// virtual channels (1..numVCs-1) and may always fall back to the escape
+// virtual channel (0) restricted to the dimension-order output, which keeps
+// the protocol deadlock-free. It rejects tori (escape-layer datelines would
+// need a third VC, which the paper's 2-VC routers do not have).
+type MinimalAdaptive struct{}
+
+// Name implements Algorithm.
+func (MinimalAdaptive) Name() string { return "adaptive" }
+
+// Route implements Algorithm.
+func (MinimalAdaptive) Route(t *topology.Cube, cur, dst, numVCs int, _ State) []Candidate {
+	if t.Torus() {
+		panic("routing: MinimalAdaptive supports meshes only")
+	}
+	if numVCs < 2 {
+		panic("routing: MinimalAdaptive needs >= 2 VCs (one escape + adaptive)")
+	}
+	if cur == dst {
+		return []Candidate{{Port: topology.LocalPort, VCs: allVCs(numVCs)}}
+	}
+	adaptive := allVCs(numVCs)[1:]
+	var out []Candidate
+	escape := -1
+	for d := 0; d < t.N(); d++ {
+		cx, dx := t.Coord(cur, d), t.Coord(dst, d)
+		if cx == dx {
+			continue
+		}
+		port := t.PortFor(d, directionIn(t, cx, dx))
+		if escape == -1 {
+			escape = port // lowest unresolved dimension = DOR output
+		}
+		out = append(out, Candidate{Port: port, VCs: adaptive})
+	}
+	// The escape VC is only admissible on the dimension-order output.
+	for i := range out {
+		if out[i].Port == escape {
+			out[i].VCs = append([]int{0}, out[i].VCs...)
+		}
+	}
+	return out
+}
+
+// ByName returns the named algorithm ("dor" or "adaptive").
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "dor", "":
+		return DimensionOrder{}, nil
+	case "adaptive":
+		return MinimalAdaptive{}, nil
+	default:
+		return nil, fmt.Errorf("routing: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,286 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+// walker steps a packet hop-by-hop under DOR, maintaining the dateline
+// wrapped state exactly as the network layer does: set when a hop crosses a
+// wrap channel, cleared when travel changes dimension.
+type walker struct {
+	topo *topology.Cube
+	cur  int
+	st   State
+}
+
+// step advances one hop toward dst and returns the (dim, dir, vcs) used.
+func (w *walker) step(dst int) (dim int, dir topology.Direction, vcs []int, ok bool) {
+	c := DimensionOrder{}.Route(w.topo, w.cur, dst, 2, w.st)
+	if len(c) != 1 || c[0].Port == topology.LocalPort {
+		return 0, 0, nil, false
+	}
+	dim, dir = w.topo.DimDir(c[0].Port)
+	next, exists := w.topo.Neighbor(w.cur, dim, dir)
+	if !exists {
+		return 0, 0, nil, false
+	}
+	cx := w.topo.Coord(w.cur, dim)
+	wrap := w.topo.Torus() &&
+		((dir == topology.Plus && cx == w.topo.K()-1) || (dir == topology.Minus && cx == 0))
+	w.st = w.st.Advance(dim, wrap)
+	w.cur = next
+	return dim, dir, c[0].VCs, true
+}
+
+func TestDORMeshXYOrder(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	// From (0,0) to (3,2): must move +x first.
+	src, dst := m.NodeAt(0, 0), m.NodeAt(3, 2)
+	c := DimensionOrder{}.Route(m, src, dst, 2, NewState())
+	if len(c) != 1 {
+		t.Fatalf("DOR returned %d candidates, want 1", len(c))
+	}
+	if want := m.PortFor(0, topology.Plus); c[0].Port != want {
+		t.Errorf("first hop port = %d, want +x (%d)", c[0].Port, want)
+	}
+	// When x is resolved, route +y.
+	mid := m.NodeAt(3, 0)
+	c = DimensionOrder{}.Route(m, mid, dst, 2, NewState())
+	if want := m.PortFor(1, topology.Plus); c[0].Port != want {
+		t.Errorf("second phase port = %d, want +y (%d)", c[0].Port, want)
+	}
+}
+
+func TestDORReachesDestination(t *testing.T) {
+	topos := []*topology.Cube{
+		topology.NewMesh2D(8),
+		topology.New(4, 2, true),
+		topology.New(3, 3, false),
+		topology.New(5, 2, true),
+	}
+	for _, topo := range topos {
+		f := func(a, b uint16) bool {
+			src, dst := int(a)%topo.Nodes(), int(b)%topo.Nodes()
+			w := walker{topo: topo, cur: src, st: NewState()}
+			for steps := 0; w.cur != dst; steps++ {
+				if steps > topo.MaxDistance() {
+					return false
+				}
+				if _, _, _, ok := w.step(dst); !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", topo, err)
+		}
+	}
+}
+
+func TestDORMinimal(t *testing.T) {
+	topo := topology.New(6, 2, true)
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%topo.Nodes(), int(b)%topo.Nodes()
+		w := walker{topo: topo, cur: src, st: NewState()}
+		hops := 0
+		for w.cur != dst {
+			if _, _, _, ok := w.step(dst); !ok {
+				return false
+			}
+			hops++
+		}
+		return hops == topo.HopDistance(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDORAtDestinationEjects(t *testing.T) {
+	m := topology.NewMesh2D(4)
+	c := DimensionOrder{}.Route(m, 5, 5, 2, NewState())
+	if len(c) != 1 || c[0].Port != topology.LocalPort {
+		t.Errorf("Route at destination = %+v, want local port", c)
+	}
+}
+
+// TestTorusDatelineAcyclic verifies the core deadlock-freedom property of
+// the dateline scheme: within each unidirectional ring, neither virtual
+// channel class uses all k ring edges, so no VC layer can close a wait
+// cycle. (With dimension order across dimensions, per-layer acyclicity
+// implies global deadlock freedom.)
+func TestTorusDatelineAcyclic(t *testing.T) {
+	for _, k := range []int{4, 5, 8} {
+		topo := topology.New(k, 2, true)
+		type hop struct {
+			dim  int
+			dir  topology.Direction
+			from int
+			vc   int
+		}
+		used := map[hop]bool{}
+		for src := 0; src < topo.Nodes(); src++ {
+			for dst := 0; dst < topo.Nodes(); dst++ {
+				w := walker{topo: topo, cur: src, st: NewState()}
+				for w.cur != dst {
+					from := w.cur
+					dim, dir, vcs, ok := w.step(dst)
+					if !ok {
+						t.Fatalf("walk stuck %d->%d at %d", src, dst, from)
+					}
+					for _, vc := range vcs {
+						used[hop{dim, dir, topo.Coord(from, dim), vc}] = true
+					}
+				}
+			}
+		}
+		for d := 0; d < 2; d++ {
+			for _, dir := range []topology.Direction{topology.Plus, topology.Minus} {
+				for vc := 0; vc < 2; vc++ {
+					count := 0
+					for x := 0; x < k; x++ {
+						if used[hop{d, dir, x, vc}] {
+							count++
+						}
+					}
+					if count >= k {
+						t.Errorf("k=%d dim %d dir %v vc %d uses %d/%d ring edges: cycle possible",
+							k, d, dir, vc, count, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTorusDatelineVC0NeverWraps checks the invariant directly: VC 0 is
+// never admissible on a hop that crosses a wraparound edge.
+func TestTorusDatelineVC0NeverWraps(t *testing.T) {
+	topo := topology.New(5, 2, true)
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			w := walker{topo: topo, cur: src, st: NewState()}
+			for w.cur != dst {
+				from := w.cur
+				dim, dir, vcs, _ := w.step(dst)
+				cx := topo.Coord(from, dim)
+				isWrap := (dir == topology.Plus && cx == topo.K()-1) ||
+					(dir == topology.Minus && cx == 0)
+				if isWrap {
+					for _, vc := range vcs {
+						if vc == 0 {
+							t.Fatalf("VC0 admitted on wrap hop %d->%d", from, w.cur)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptiveProductiveOnly(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	f := func(a, b uint16) bool {
+		src, dst := int(a)%m.Nodes(), int(b)%m.Nodes()
+		if src == dst {
+			return true
+		}
+		cands := MinimalAdaptive{}.Route(m, src, dst, 2, NewState())
+		if len(cands) == 0 {
+			return false
+		}
+		for _, c := range cands {
+			d, dir := m.DimDir(c.Port)
+			next, ok := m.Neighbor(src, d, dir)
+			if !ok {
+				return false
+			}
+			// Minimal: every candidate must reduce distance.
+			if m.HopDistance(next, dst) != m.HopDistance(src, dst)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptiveEscapeVCOnDOROutput(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	src, dst := m.NodeAt(1, 1), m.NodeAt(4, 5)
+	cands := MinimalAdaptive{}.Route(m, src, dst, 2, NewState())
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(cands))
+	}
+	dorPort := DimensionOrder{}.Route(m, src, dst, 2, NewState())[0].Port
+	foundEscape := false
+	for _, c := range cands {
+		hasVC0 := false
+		for _, vc := range c.VCs {
+			if vc == 0 {
+				hasVC0 = true
+			}
+		}
+		if hasVC0 {
+			foundEscape = true
+			if c.Port != dorPort {
+				t.Errorf("escape VC admissible on port %d, want DOR port %d", c.Port, dorPort)
+			}
+		}
+	}
+	if !foundEscape {
+		t.Error("no candidate admits the escape VC")
+	}
+}
+
+func TestAdaptiveOffersBothProductivePorts(t *testing.T) {
+	m := topology.NewMesh2D(8)
+	src, dst := m.NodeAt(2, 2), m.NodeAt(5, 6)
+	cands := MinimalAdaptive{}.Route(m, src, dst, 2, NewState())
+	ports := map[int]bool{}
+	for _, c := range cands {
+		ports[c.Port] = true
+	}
+	if !ports[m.PortFor(0, topology.Plus)] || !ports[m.PortFor(1, topology.Plus)] {
+		t.Errorf("candidates %+v missing a productive port", cands)
+	}
+}
+
+func TestAdaptiveRejectsTorus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinimalAdaptive on torus should panic")
+		}
+	}()
+	MinimalAdaptive{}.Route(topology.New(4, 2, true), 0, 5, 2, NewState())
+}
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want string
+		err  bool
+	}{
+		{"dor", "dor", false},
+		{"", "dor", false},
+		{"adaptive", "adaptive", false},
+		{"bogus", "", true},
+	} {
+		alg, err := ByName(tc.name)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ByName(%q) should fail", tc.name)
+			}
+			continue
+		}
+		if err != nil || alg.Name() != tc.want {
+			t.Errorf("ByName(%q) = %v, %v", tc.name, alg, err)
+		}
+	}
+}

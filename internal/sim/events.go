@@ -1,0 +1,103 @@
+package sim
+
+import "container/heap"
+
+// Event is a closure scheduled to run at a fixed instant. Events scheduled
+// for the same instant run in the order they were scheduled (FIFO within a
+// timestamp), which keeps runs deterministic regardless of heap internals.
+type Event struct {
+	At  Time
+	Run func()
+
+	seq int64 // tie-breaker for same-instant events
+}
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event executive. The zero value is ready to use.
+//
+// The network advances mostly cycle-by-cycle (the routers are synchronous),
+// but link arrivals, DVS transitions and task-session boundaries land at
+// arbitrary picosecond instants; those are what the event heap carries.
+type Scheduler struct {
+	now    Time
+	heap   eventHeap
+	nextID int64
+}
+
+// Now reports the current simulation instant.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at instant t. Scheduling in the past is a
+// programming error and panics, because silently reordering causality makes
+// simulation bugs unfindable.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.nextID++
+	heap.Push(&s.heap, &Event{At: t, Run: fn, seq: s.nextID})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// PeekTime reports the instant of the earliest queued event, or Infinity if
+// the queue is empty.
+func (s *Scheduler) PeekTime() Time {
+	if len(s.heap) == 0 {
+		return Infinity
+	}
+	return s.heap[0].At
+}
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the next event lies strictly beyond deadline. It returns the number of
+// events executed and leaves Now at max(Now, deadline).
+func (s *Scheduler) RunUntil(deadline Time) int {
+	n := 0
+	for len(s.heap) > 0 && s.heap[0].At <= deadline {
+		ev := heap.Pop(&s.heap).(*Event)
+		s.now = ev.At
+		ev.Run()
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}
+
+// Step executes the single earliest event, if any, and reports whether one
+// ran.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.heap).(*Event)
+	s.now = ev.At
+	ev.Run()
+	return true
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Latency accumulates packet latencies in router cycles and implements the
+// paper's saturation criterion: "the saturation throughput of the network
+// is where average packet latency worsens to more than twice the zero-load
+// latency". Percentiles come from a log-spaced histogram (1% resolution per
+// decade across 1..10^7 cycles), sufficient for tail reporting without
+// retaining samples.
+type Latency struct {
+	Period sim.Duration // router clock period defining "cycle"
+	s      Stream
+	bins   [quantBins]int64
+}
+
+// quantBins spans 7 decades at 100 bins per decade.
+const quantBins = 700
+
+// NewLatency returns a collector for the given router clock.
+func NewLatency(period sim.Duration) *Latency { return &Latency{Period: period} }
+
+// binOf maps latency-in-cycles to a log-spaced bin.
+func binOf(cycles float64) int {
+	if cycles < 1 {
+		return 0
+	}
+	b := int(100 * math.Log10(cycles))
+	if b >= quantBins {
+		b = quantBins - 1
+	}
+	return b
+}
+
+// Add records one packet latency.
+func (l *Latency) Add(d sim.Duration) {
+	c := float64(d) / float64(l.Period)
+	l.s.Add(c)
+	l.bins[binOf(c)]++
+}
+
+// Quantile reports the approximate q-quantile (q in [0,1]) of the recorded
+// latencies, in router cycles, with ~2.3% relative resolution.
+func (l *Latency) Quantile(q float64) float64 {
+	if l.s.N() == 0 {
+		return 0
+	}
+	target := int64(q * float64(l.s.N()))
+	if target >= l.s.N() {
+		target = l.s.N() - 1
+	}
+	var cum int64
+	for b, c := range l.bins {
+		cum += c
+		if cum > target {
+			// Geometric center of the bin.
+			return math.Pow(10, (float64(b)+0.5)/100)
+		}
+	}
+	return l.s.Max()
+}
+
+// N reports the packet count.
+func (l *Latency) N() int64 { return l.s.N() }
+
+// MeanCycles reports the average latency in router cycles.
+func (l *Latency) MeanCycles() float64 { return l.s.Mean() }
+
+// MaxCycles reports the worst latency in router cycles.
+func (l *Latency) MaxCycles() float64 { return l.s.Max() }
+
+// Saturated reports whether mean latency exceeds twice the given zero-load
+// latency (both in cycles).
+func (l *Latency) Saturated(zeroLoadCycles float64) bool {
+	return l.s.Mean() > 2*zeroLoadCycles
+}
+
+// SaturationPoint scans (rate, meanLatency) pairs ordered by rate and
+// returns the first rate whose latency exceeds twice the zero-load latency,
+// with ok=false when no rate saturates.
+func SaturationPoint(rates, latencies []float64, zeroLoad float64) (rate float64, ok bool) {
+	for i := range rates {
+		if latencies[i] > 2*zeroLoad {
+			return rates[i], true
+		}
+	}
+	return 0, false
+}

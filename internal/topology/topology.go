@@ -1,0 +1,210 @@
+// Package topology models k-ary n-cube interconnection networks — the
+// topology family the paper's simulator supports — as meshes (no wraparound)
+// or tori (with wraparound). The paper's experimental platform is the 8x8
+// mesh (k=8, n=2).
+package topology
+
+import "fmt"
+
+// Direction is the sign of travel along one dimension.
+type Direction int
+
+const (
+	// Plus travels toward higher coordinates.
+	Plus Direction = iota
+	// Minus travels toward lower coordinates.
+	Minus
+)
+
+func (d Direction) String() string {
+	if d == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// LocalPort is the router port index used for injection and ejection.
+const LocalPort = 0
+
+// Cube is a k-ary n-cube: k nodes per dimension, n dimensions. The zero
+// value is not usable; construct with New.
+type Cube struct {
+	k, n  int
+	torus bool
+	nodes int
+	// strides[d] is the node-index stride of dimension d.
+	strides []int
+}
+
+// New returns a k-ary n-cube. torus selects wraparound channels.
+// It panics for k < 2 or n < 1: such shapes are not networks.
+func New(k, n int, torus bool) *Cube {
+	if k < 2 || n < 1 {
+		panic(fmt.Sprintf("topology: invalid k-ary n-cube (k=%d, n=%d)", k, n))
+	}
+	c := &Cube{k: k, n: n, torus: torus, nodes: 1, strides: make([]int, n)}
+	for d := 0; d < n; d++ {
+		c.strides[d] = c.nodes
+		c.nodes *= k
+	}
+	return c
+}
+
+// NewMesh2D returns a width x height 2D mesh (k-ary 2-cube when square;
+// non-square meshes are not k-ary n-cubes, so both sides must equal k).
+func NewMesh2D(k int) *Cube { return New(k, 2, false) }
+
+// K reports nodes per dimension.
+func (c *Cube) K() int { return c.k }
+
+// N reports the number of dimensions.
+func (c *Cube) N() int { return c.n }
+
+// Torus reports whether wraparound channels exist.
+func (c *Cube) Torus() bool { return c.torus }
+
+// Nodes reports the total node count k^n.
+func (c *Cube) Nodes() int { return c.nodes }
+
+// Ports reports the router port count: one local port plus two per
+// dimension. Ports that have no neighbor in a mesh exist but are
+// unconnected.
+func (c *Cube) Ports() int { return 1 + 2*c.n }
+
+// PortFor maps (dimension, direction) to a router port index.
+func (c *Cube) PortFor(dim int, dir Direction) int {
+	return 1 + 2*dim + int(dir)
+}
+
+// DimDir maps a non-local port index back to (dimension, direction).
+func (c *Cube) DimDir(port int) (dim int, dir Direction) {
+	if port == LocalPort {
+		panic("topology: DimDir of local port")
+	}
+	p := port - 1
+	return p / 2, Direction(p % 2)
+}
+
+// Coord reports the coordinate of node along dimension d.
+func (c *Cube) Coord(node, d int) int {
+	return (node / c.strides[d]) % c.k
+}
+
+// Coords reports all coordinates of node.
+func (c *Cube) Coords(node int) []int {
+	out := make([]int, c.n)
+	for d := 0; d < c.n; d++ {
+		out[d] = c.Coord(node, d)
+	}
+	return out
+}
+
+// NodeAt reports the node index with the given coordinates.
+func (c *Cube) NodeAt(coords ...int) int {
+	if len(coords) != c.n {
+		panic(fmt.Sprintf("topology: NodeAt got %d coords, want %d", len(coords), c.n))
+	}
+	node := 0
+	for d, x := range coords {
+		if x < 0 || x >= c.k {
+			panic(fmt.Sprintf("topology: coordinate %d out of range [0,%d)", x, c.k))
+		}
+		node += x * c.strides[d]
+	}
+	return node
+}
+
+// Neighbor reports the node adjacent to node in (dim, dir) and whether that
+// channel exists (always true on a torus; false at mesh edges).
+func (c *Cube) Neighbor(node, dim int, dir Direction) (int, bool) {
+	x := c.Coord(node, dim)
+	var nx int
+	switch dir {
+	case Plus:
+		nx = x + 1
+		if nx == c.k {
+			if !c.torus {
+				return 0, false
+			}
+			nx = 0
+		}
+	case Minus:
+		nx = x - 1
+		if nx < 0 {
+			if !c.torus {
+				return 0, false
+			}
+			nx = c.k - 1
+		}
+	}
+	return node + (nx-x)*c.strides[dim], true
+}
+
+// HopDistance reports the minimal hop count between two nodes.
+func (c *Cube) HopDistance(a, b int) int {
+	dist := 0
+	for d := 0; d < c.n; d++ {
+		diff := c.Coord(b, d) - c.Coord(a, d)
+		if diff < 0 {
+			diff = -diff
+		}
+		if c.torus && c.k-diff < diff {
+			diff = c.k - diff
+		}
+		dist += diff
+	}
+	return dist
+}
+
+// Channel is one directed inter-router channel (the paper's "channel of
+// eight serial links" controlled by one DVS regulator).
+type Channel struct {
+	Src, Dst int       // router node indices
+	Dim      int       // dimension of travel
+	Dir      Direction // direction of travel
+	Wrap     bool      // true for torus wraparound channels
+}
+
+// Channels enumerates every directed channel in deterministic order
+// (by source node, then dimension, then direction).
+func (c *Cube) Channels() []Channel {
+	var out []Channel
+	for node := 0; node < c.nodes; node++ {
+		for d := 0; d < c.n; d++ {
+			for _, dir := range []Direction{Plus, Minus} {
+				dst, ok := c.Neighbor(node, d, dir)
+				if !ok {
+					continue
+				}
+				wrap := false
+				if c.torus {
+					x := c.Coord(node, d)
+					wrap = (dir == Plus && x == c.k-1) || (dir == Minus && x == 0)
+				}
+				out = append(out, Channel{Src: node, Dst: dst, Dim: d, Dir: dir, Wrap: wrap})
+			}
+		}
+	}
+	return out
+}
+
+// NodesAtDistance reports all nodes exactly h hops from src. Used by the
+// sphere-of-locality traffic model.
+func (c *Cube) NodesAtDistance(src, h int) []int {
+	var out []int
+	for node := 0; node < c.nodes; node++ {
+		if node != src && c.HopDistance(src, node) == h {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// MaxDistance reports the network diameter.
+func (c *Cube) MaxDistance() int {
+	per := c.k - 1
+	if c.torus {
+		per = c.k / 2
+	}
+	return per * c.n
+}

@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh2D(8)
+	if m.Nodes() != 64 {
+		t.Fatalf("Nodes = %d, want 64", m.Nodes())
+	}
+	if m.Ports() != 5 {
+		t.Fatalf("Ports = %d, want 5", m.Ports())
+	}
+	if m.MaxDistance() != 14 {
+		t.Errorf("MaxDistance = %d, want 14", m.MaxDistance())
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := New(5, 3, false)
+	f := func(raw uint16) bool {
+		node := int(raw) % m.Nodes()
+		return m.NodeAt(m.Coords(node)...) == node
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := NewMesh2D(4)
+	// Corner node 0 = (0,0): only +x and +y neighbors.
+	if _, ok := m.Neighbor(0, 0, Minus); ok {
+		t.Error("corner should lack -x neighbor")
+	}
+	if _, ok := m.Neighbor(0, 1, Minus); ok {
+		t.Error("corner should lack -y neighbor")
+	}
+	if n, ok := m.Neighbor(0, 0, Plus); !ok || n != 1 {
+		t.Errorf("(0,0)+x = %d,%v, want 1,true", n, ok)
+	}
+	if n, ok := m.Neighbor(0, 1, Plus); !ok || n != 4 {
+		t.Errorf("(0,0)+y = %d,%v, want 4,true", n, ok)
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	tr := New(4, 2, true)
+	// Node 3 = (3,0): +x wraps to node 0.
+	if n, ok := tr.Neighbor(3, 0, Plus); !ok || n != 0 {
+		t.Errorf("(3,0)+x = %d,%v, want 0,true", n, ok)
+	}
+	if n, ok := tr.Neighbor(0, 0, Minus); !ok || n != 3 {
+		t.Errorf("(0,0)-x = %d,%v, want 3,true", n, ok)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	m := NewMesh2D(8)
+	if d := m.HopDistance(0, 63); d != 14 {
+		t.Errorf("mesh corner distance = %d, want 14", d)
+	}
+	tr := New(8, 2, true)
+	if d := tr.HopDistance(0, 63); d != 2 {
+		t.Errorf("torus (0,0)->(7,7) distance = %d, want 2", d)
+	}
+	if d := tr.HopDistance(0, 7); d != 1 {
+		t.Errorf("torus wrap distance = %d, want 1", d)
+	}
+}
+
+func TestHopDistanceSymmetric(t *testing.T) {
+	for _, topo := range []*Cube{NewMesh2D(6), New(6, 2, true), New(3, 3, false)} {
+		f := func(a, b uint16) bool {
+			x, y := int(a)%topo.Nodes(), int(b)%topo.Nodes()
+			return topo.HopDistance(x, y) == topo.HopDistance(y, x)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestHopDistanceTriangleInequality(t *testing.T) {
+	topo := NewMesh2D(5)
+	f := func(a, b, c uint16) bool {
+		x, y, z := int(a)%topo.Nodes(), int(b)%topo.Nodes(), int(c)%topo.Nodes()
+		return topo.HopDistance(x, z) <= topo.HopDistance(x, y)+topo.HopDistance(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelCount(t *testing.T) {
+	// 8x8 mesh: 2*7*8 bidirectional pairs per dimension orientation =
+	// 2 * (2 * 7 * 8) = 224 directed channels.
+	m := NewMesh2D(8)
+	if got := len(m.Channels()); got != 224 {
+		t.Errorf("mesh channels = %d, want 224", got)
+	}
+	// 4x4 torus: every node has 4 outgoing channels.
+	tr := New(4, 2, true)
+	if got := len(tr.Channels()); got != 64 {
+		t.Errorf("torus channels = %d, want 64", got)
+	}
+}
+
+func TestChannelsConnectNeighbors(t *testing.T) {
+	for _, topo := range []*Cube{NewMesh2D(4), New(4, 2, true)} {
+		for _, ch := range topo.Channels() {
+			if topo.HopDistance(ch.Src, ch.Dst) != 1 {
+				t.Errorf("channel %v does not connect neighbors", ch)
+			}
+			n, ok := topo.Neighbor(ch.Src, ch.Dim, ch.Dir)
+			if !ok || n != ch.Dst {
+				t.Errorf("channel %v inconsistent with Neighbor", ch)
+			}
+		}
+	}
+}
+
+func TestWrapFlag(t *testing.T) {
+	tr := New(4, 2, true)
+	wraps := 0
+	for _, ch := range tr.Channels() {
+		if ch.Wrap {
+			wraps++
+			xs, xd := tr.Coord(ch.Src, ch.Dim), tr.Coord(ch.Dst, ch.Dim)
+			if !(xs == 3 && xd == 0) && !(xs == 0 && xd == 3) {
+				t.Errorf("channel %v marked wrap but coords %d->%d", ch, xs, xd)
+			}
+		}
+	}
+	// Each dimension: 4 rows x 2 directions = 8 wrap channels; 2 dims = 16.
+	if wraps != 16 {
+		t.Errorf("wrap channels = %d, want 16", wraps)
+	}
+}
+
+func TestNodesAtDistance(t *testing.T) {
+	m := NewMesh2D(8)
+	center := m.NodeAt(3, 3)
+	// Distance 1 from an interior node: 4 nodes.
+	if got := len(m.NodesAtDistance(center, 1)); got != 4 {
+		t.Errorf("nodes at distance 1 = %d, want 4", got)
+	}
+	// All distances partition the other 63 nodes.
+	total := 0
+	for h := 1; h <= m.MaxDistance(); h++ {
+		total += len(m.NodesAtDistance(center, h))
+	}
+	if total != 63 {
+		t.Errorf("distance shells sum to %d nodes, want 63", total)
+	}
+}
+
+func TestPortMapping(t *testing.T) {
+	m := New(4, 3, false)
+	seen := map[int]bool{LocalPort: true}
+	for d := 0; d < 3; d++ {
+		for _, dir := range []Direction{Plus, Minus} {
+			p := m.PortFor(d, dir)
+			if seen[p] {
+				t.Fatalf("port %d assigned twice", p)
+			}
+			seen[p] = true
+			gd, gdir := m.DimDir(p)
+			if gd != d || gdir != dir {
+				t.Errorf("DimDir(PortFor(%d,%v)) = (%d,%v)", d, dir, gd, gdir)
+			}
+		}
+	}
+	if len(seen) != m.Ports() {
+		t.Errorf("distinct ports = %d, want %d", len(seen), m.Ports())
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{1, 2}, {0, 1}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", tc.k, tc.n)
+				}
+			}()
+			New(tc.k, tc.n, false)
+		}()
+	}
+}

@@ -1,0 +1,34 @@
+package noc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveConfig writes a config as indented JSON, suitable for versioning
+// experiment setups alongside their results.
+func SaveConfig(path string, c Config) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("noc: encoding config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadConfig reads a JSON config written by SaveConfig. Fields absent from
+// the file keep their DefaultConfig values, so partial configs work.
+func LoadConfig(path string) (Config, error) {
+	c := DefaultConfig()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, err
+	}
+	if err := json.Unmarshal(data, &c); err != nil {
+		return c, fmt.Errorf("noc: decoding %s: %w", path, err)
+	}
+	if _, err := c.lower(); err != nil {
+		return c, fmt.Errorf("noc: %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,46 @@
+package noc
+
+import (
+	"io"
+
+	"repro/internal/exp"
+)
+
+// ExperimentOptions scale a paper-experiment run.
+type ExperimentOptions struct {
+	// Quick shrinks cycle budgets to smoke-run scale; Full raises them to
+	// the paper's 10M-cycle setting. Default is a minutes-scale middle
+	// ground.
+	Quick, Full bool
+	// Seed selects the deterministic random stream family (0 means 1).
+	Seed uint64
+}
+
+// Experiments lists the regenerable paper artifacts ("fig3" .. "fig17",
+// "tab1", "tab2", "headline", "abl-*") with one-line descriptions.
+func Experiments() []string { return exp.List() }
+
+// RunExperiment regenerates one paper table or figure and prints its text
+// tables to w.
+func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range tabs {
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// RunExperimentCSV is RunExperiment with CSV output for plotting tools.
+func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	for _, t := range tabs {
+		t.FprintCSV(w)
+	}
+	return nil
+}
