@@ -1,0 +1,30 @@
+# Tier-1 verification plus the race detector and the hot-path benchmarks.
+#
+#   make check   # everything below: vet, build, race-enabled tests, benches
+#   make test    # plain tier-1 tests (what the seed ran)
+#   make race    # full test suite under the race detector
+#   make bench   # scheduler + packet-alloc micro-benchmarks (alloc counts)
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the experiment suite ~10x; the default 10m
+# per-package test timeout is not enough on small machines.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem
+	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem

@@ -95,6 +95,36 @@ func BenchmarkSaturationThroughput(b *testing.B)       { benchExp(b, "saturation
 func BenchmarkOrionCrossCheck(b *testing.B)            { benchExp(b, "orion") }
 func BenchmarkNoiseMargin(b *testing.B)                { benchExp(b, "noise") }
 
+// --- Parallel harness benchmarks -----------------------------------------
+
+// benchFigures regenerates a representative artifact pair (the headline
+// DVS sweep and a threshold grid — 30 distinct simulation points) from a
+// cold cache at a fixed parallelism level.
+func benchFigures(b *testing.B, jobs int) {
+	b.Helper()
+	exp.SetParallelism(jobs)
+	defer exp.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		exp.ResetCaches()
+		o := exp.Options{Quick: true, Seed: uint64(i + 1)}
+		for _, id := range []string{"fig10", "fig13"} {
+			if _, err := exp.Run(id, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFiguresSequential pins the experiment executor to one worker:
+// the pre-parallelism baseline.
+func BenchmarkFiguresSequential(b *testing.B) { benchFigures(b, 1) }
+
+// BenchmarkFiguresParallel lets the executor use every core; compare
+// against BenchmarkFiguresSequential to see the worker-pool speedup (on a
+// multi-core machine it approaches min(GOMAXPROCS, points) before memory
+// bandwidth intervenes).
+func BenchmarkFiguresParallel(b *testing.B) { benchFigures(b, 0) }
+
 // --- Substrate micro-benchmarks ------------------------------------------
 
 // BenchmarkNetworkStep8x8 measures the cost of one router cycle of the

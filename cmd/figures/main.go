@@ -4,13 +4,20 @@
 //	figures -list                 # what can be regenerated
 //	figures -exp fig10            # latency & power vs rate, 100 tasks
 //	figures -exp all -quick       # smoke-run everything
+//	figures -exp all -quick -j 8  # same, 8 simulations in parallel
 //	figures -exp fig10 -full      # the paper's 10M-cycle budget
+//
+// Simulation points fan out across -j worker goroutines (default
+// GOMAXPROCS). Output is bit-for-bit identical at every -j: each point is
+// independently seeded and tables assemble in fixed order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/noc"
@@ -18,12 +25,15 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (see -list), comma-separated ids, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids")
-		quick = flag.Bool("quick", false, "shrink cycle budgets for a fast smoke run")
-		full  = flag.Bool("full", false, "use the paper's 10M-cycle budget")
-		seed  = flag.Uint64("seed", 1, "random seed family")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		expID      = flag.String("exp", "", "experiment id (see -list), comma-separated ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids")
+		quick      = flag.Bool("quick", false, "shrink cycle budgets for a fast smoke run")
+		full       = flag.Bool("full", false, "use the paper's 10M-cycle budget")
+		seed       = flag.Uint64("seed", 1, "random seed family")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jobs       = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,6 +48,21 @@ func main() {
 		return
 	}
 
+	noc.SetExperimentParallelism(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	o := noc.ExperimentOptions{Quick: *quick, Full: *full, Seed: *seed}
 	var ids []string
 	switch {
@@ -48,17 +73,31 @@ func main() {
 	default:
 		ids = strings.Split(*expID, ",")
 	}
-	for _, id := range ids {
+	rendered, err := noc.RunExperiments(ids, o, *csv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
+	}
+	for i, id := range ids {
 		if len(ids) > 1 {
 			fmt.Printf("### %s\n\n", id)
 		}
-		runFn := noc.RunExperiment
-		if *csv {
-			runFn = noc.RunExperimentCSV
-		}
-		if err := runFn(id, o, os.Stdout); err != nil {
+		fmt.Print(rendered[i])
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+		f.Close()
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/noc"
@@ -36,8 +38,16 @@ func main() {
 		levels   = flag.Bool("levels", false, "print the final DVS level histogram")
 		traceN   = flag.Int("trace", 0, "dump the last N trace events after the run")
 		traceK   = flag.String("tracekind", "", "trace filter: inject | deliver | transition | policy")
+
+		jobs       = flag.Int("j", 0, "max OS threads for this process (0 = GOMAXPROCS); one simulation is single-threaded, this bounds GC/runtime helpers when profiling")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
+
+	if *jobs > 0 {
+		runtime.GOMAXPROCS(*jobs)
+	}
 
 	cfg := noc.DefaultConfig()
 	if *cfgPath != "" {
@@ -106,8 +116,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+	}
 	n.Warmup(*warmup)
 	r := n.Measure(*measure)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("platform   : %dx%d mesh(torus=%v), policy=%s, routing=%s\n",
 		*mesh, *mesh, *torus, *policy, *routing)

@@ -34,75 +34,93 @@ func perfHeader() []string {
 	return []string{"variant", "latency", "throughput", "norm power", "savings"}
 }
 
+// variantTable simulates labeled spec variants concurrently and renders one
+// result row per variant, in input order.
+func variantTable(o Options, title string, labels []string, specs []spec, notes []string) Table {
+	t := Table{Title: title, Header: perfHeader(), Notes: notes}
+	res := sweepSpecs(o, specs)
+	for i, label := range labels {
+		resultRow(&t, label, res[i])
+	}
+	return t
+}
+
 func runAblLitmus(o Options) []Table {
-	t := Table{Title: "Ablation: buffer-utilization congestion litmus", Header: perfHeader()}
 	// Compare at a congesting rate, where the litmus matters.
 	rate := 6.0
-	full := defaultSpec(rate, network.PolicyHistory)
-	noLitmus := defaultSpec(rate, network.PolicyLinkUtilOnly)
-	resultRow(&t, "history-DVS (with litmus)", run(full, o))
-	resultRow(&t, "link-util only (no litmus)", run(noLitmus, o))
-	t.Notes = []string{
-		"under congestion the litmus harvests power from stalled links whose delay is hidden;",
-		"without it the policy keeps pushing stalled links fast, wasting power (Sec 3.1)",
-	}
-	return []Table{t}
+	return []Table{variantTable(o, "Ablation: buffer-utilization congestion litmus",
+		[]string{"history-DVS (with litmus)", "link-util only (no litmus)"},
+		[]spec{
+			defaultSpec(rate, network.PolicyHistory),
+			defaultSpec(rate, network.PolicyLinkUtilOnly),
+		},
+		[]string{
+			"under congestion the litmus harvests power from stalled links whose delay is hidden;",
+			"without it the policy keeps pushing stalled links fast, wasting power (Sec 3.1)",
+		})}
 }
 
 func runAblWindow(o Options) []Table {
-	t := Table{Title: "Ablation: history window size H", Header: perfHeader()}
+	var labels []string
+	var specs []spec
 	for _, h := range []int{50, 200, 800} {
 		s := defaultSpec(ablationRate, network.PolicyHistory)
 		s.dvsH = h
-		resultRow(&t, fmt.Sprintf("H=%d", h), run(s, o))
+		labels = append(labels, fmt.Sprintf("H=%d", h))
+		specs = append(specs, s)
 	}
-	t.Notes = []string{
+	return []Table{variantTable(o, "Ablation: history window size H", labels, specs, []string{
 		"short windows chase noise (more transitions); long windows lag traffic shifts",
-	}
-	return []Table{t}
+	})}
 }
 
 func runAblWeight(o Options) []Table {
-	t := Table{Title: "Ablation: EWMA weight W", Header: perfHeader()}
+	var labels []string
+	var specs []spec
 	for _, w := range []int{1, 3, 7} {
 		s := defaultSpec(ablationRate, network.PolicyHistory)
 		s.dvsW = w
-		resultRow(&t, fmt.Sprintf("W=%d", w), run(s, o))
+		labels = append(labels, fmt.Sprintf("W=%d", w))
+		specs = append(specs, s)
 	}
-	t.Notes = []string{
+	return []Table{variantTable(o, "Ablation: EWMA weight W", labels, specs, []string{
 		"low W weights history (smooth, slow); high W weights the current window (fast, noisy);",
 		"the paper picks W=3 so the hardware divide reduces to a shift",
-	}
-	return []Table{t}
+	})}
 }
 
 func runAblAdaptive(o Options) []Table {
-	t := Table{Title: "Extension: dynamically adjusted thresholds (Sec 4.4.2)", Header: perfHeader()}
+	var labels []string
+	var specs []spec
 	for _, rate := range []float64{0.5, 1.5} {
-		static := defaultSpec(rate, network.PolicyHistory)
-		adaptive := defaultSpec(rate, network.PolicyAdaptiveThresholds)
-		resultRow(&t, fmt.Sprintf("static III @%.1f", rate), run(static, o))
-		resultRow(&t, fmt.Sprintf("adaptive I-VI @%.1f", rate), run(adaptive, o))
+		labels = append(labels,
+			fmt.Sprintf("static III @%.1f", rate),
+			fmt.Sprintf("adaptive I-VI @%.1f", rate))
+		specs = append(specs,
+			defaultSpec(rate, network.PolicyHistory),
+			defaultSpec(rate, network.PolicyAdaptiveThresholds))
 	}
-	t.Notes = []string{
-		"the adaptive controller walks Table 2 settings online: aggressive when buffers",
-		"stay empty, conservative when pressure builds",
-	}
-	return []Table{t}
+	return []Table{variantTable(o, "Extension: dynamically adjusted thresholds (Sec 4.4.2)",
+		labels, specs, []string{
+			"the adaptive controller walks Table 2 settings online: aggressive when buffers",
+			"stay empty, conservative when pressure builds",
+		})}
 }
 
 func runAblRouting(o Options) []Table {
-	t := Table{Title: "Ablation: routing protocol under history-based DVS", Header: perfHeader()}
+	var labels []string
+	var specs []spec
 	for _, alg := range []string{"dor", "adaptive"} {
 		s := defaultSpec(ablationRate, network.PolicyHistory)
 		s.routing = alg
-		resultRow(&t, alg, run(s, o))
+		labels = append(labels, alg)
+		specs = append(specs, s)
 	}
-	t.Notes = []string{
-		"adaptive routing spreads load across productive ports, smoothing per-link",
-		"utilization seen by the DVS policy",
-	}
-	return []Table{t}
+	return []Table{variantTable(o, "Ablation: routing protocol under history-based DVS",
+		labels, specs, []string{
+			"adaptive routing spreads load across productive ports, smoothing per-link",
+			"utilization seen by the DVS policy",
+		})}
 }
 
 func init() {
@@ -120,35 +138,45 @@ func runAblRouterPower(o Options) []Table {
 	}
 	warm, meas := o.budget()
 	measureOne := func(policy network.PolicyKind) (coreW, linkW float64) {
-		s := defaultSpec(2.0, policy)
-		n, m := s.build(o)
-		model := power.NewRouterEnergyModel(n.Table, 4, n.Cfg.RouterPeriod)
-		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
-		n.Launch(m, horizon)
-		n.Run(warm)
-		base := make([]router.Activity, len(n.Routers))
-		for i, r := range n.Routers {
-			base[i] = r.ActivitySnapshot()
-		}
-		n.BeginMeasurement()
-		n.Run(meas)
-		elapsed := sim.Duration(meas) * n.Cfg.RouterPeriod
-		coreJ := 0.0
-		for i, r := range n.Routers {
-			a := r.ActivitySnapshot()
-			d := router.Activity{
-				BufWrites: a.BufWrites - base[i].BufWrites,
-				BufReads:  a.BufReads - base[i].BufReads,
-				Crossbar:  a.Crossbar - base[i].Crossbar,
-				ArbGrants: a.ArbGrants - base[i].ArbGrants,
+		withSimSlot(func() {
+			s := defaultSpec(2.0, policy)
+			n, m := s.build(o)
+			model := power.NewRouterEnergyModel(n.Table, 4, n.Cfg.RouterPeriod)
+			horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+			n.Launch(m, horizon)
+			n.Run(warm)
+			base := make([]router.Activity, len(n.Routers))
+			for i, r := range n.Routers {
+				base[i] = r.ActivitySnapshot()
 			}
-			coreJ += model.EnergyJ(d, elapsed)
-		}
-		r := n.Snapshot()
-		return coreJ / elapsed.Seconds(), r.AvgPowerW
+			n.BeginMeasurement()
+			n.Run(meas)
+			elapsed := sim.Duration(meas) * n.Cfg.RouterPeriod
+			coreJ := 0.0
+			for i, r := range n.Routers {
+				a := r.ActivitySnapshot()
+				d := router.Activity{
+					BufWrites: a.BufWrites - base[i].BufWrites,
+					BufReads:  a.BufReads - base[i].BufReads,
+					Crossbar:  a.Crossbar - base[i].Crossbar,
+					ArbGrants: a.ArbGrants - base[i].ArbGrants,
+				}
+				coreJ += model.EnergyJ(d, elapsed)
+			}
+			r := n.Snapshot()
+			coreW, linkW = coreJ/elapsed.Seconds(), r.AvgPowerW
+		})
+		return coreW, linkW
 	}
-	coreBase, linkBase := measureOne(network.PolicyNone)
-	coreDVS, linkDVS := measureOne(network.PolicyHistory)
+	// The two variants are independent simulations; run them concurrently.
+	var coreBase, linkBase, coreDVS, linkDVS float64
+	Sweep(2, func(i int) {
+		if i == 0 {
+			coreBase, linkBase = measureOne(network.PolicyNone)
+		} else {
+			coreDVS, linkDVS = measureOne(network.PolicyHistory)
+		}
+	})
 	t.AddRow("no DVS", f(coreBase, 1), f(linkBase, 1), "--", "--")
 	t.AddRow("history DVS", f(coreDVS, 1), f(linkDVS, 1),
 		fmt.Sprintf("%+.1f%%", 100*(coreDVS/coreBase-1)),
@@ -171,23 +199,23 @@ func init() {
 // approximate a continuous regulator: smaller steps track demand tighter
 // but each adjustment still pays a voltage ramp.
 func runAblLevels(o Options) []Table {
-	t := Table{Title: "Ablation: DVS level granularity", Header: perfHeader()}
+	var labels []string
+	var specs []spec
 	for _, lv := range []int{4, 10, 20, 40} {
 		s := defaultSpec(ablationRate, network.PolicyHistory)
 		s.levels = lv
-		resultRow(&t, fmt.Sprintf("%d levels", lv), run(s, o))
+		labels = append(labels, fmt.Sprintf("%d levels", lv))
+		specs = append(specs, s)
 	}
-	t.Notes = []string{
+	return []Table{variantTable(o, "Ablation: DVS level granularity", labels, specs, []string{
 		"the paper's links quantize to 10 levels; a continuous-voltage regulator",
 		"(many levels) changes the step size, not the 10 us ramp that dominates",
-	}
-	return []Table{t}
+	})}
 }
 
 // runAblTopology runs the policy on different k-ary n-cubes at the same
 // aggregate load.
 func runAblTopology(o Options) []Table {
-	t := Table{Title: "Ablation: history-based DVS across topologies", Header: perfHeader()}
 	shapes := []struct {
 		label string
 		k, n  int
@@ -197,14 +225,17 @@ func runAblTopology(o Options) []Table {
 		{"8x8 torus", 8, 2, true},
 		{"4x4x4 mesh", 4, 3, false},
 	}
+	var labels []string
+	var specs []spec
 	for _, sh := range shapes {
 		s := defaultSpec(1.5, network.PolicyHistory)
 		s.k, s.n, s.torus = sh.k, sh.n, sh.torus
-		resultRow(&t, sh.label, run(s, o))
+		labels = append(labels, sh.label)
+		specs = append(specs, s)
 	}
-	t.Notes = []string{
-		"tori and higher dimensions shorten paths, lowering per-link utilization",
-		"and shifting the policy's operating levels",
-	}
-	return []Table{t}
+	return []Table{variantTable(o, "Ablation: history-based DVS across topologies",
+		labels, specs, []string{
+			"tori and higher dimensions shorten paths, lowering per-link utilization",
+			"and shifting the policy's operating levels",
+		})}
 }

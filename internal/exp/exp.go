@@ -28,8 +28,17 @@ type Options struct {
 	Seed uint64
 }
 
+// tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
+// only for harness tests (determinism across parallelism levels) that need
+// many full sweeps without caring about statistical quality; callers must
+// ResetCaches around toggling it, since cache keys do not include it.
+var tinyBudget bool
+
 // budget reports (warmup, measure) cycles for the options.
 func (o Options) budget() (warm, meas int64) {
+	if tinyBudget {
+		return 3_000, 3_000
+	}
 	switch {
 	case o.Full:
 		return 1_000_000, 10_000_000
@@ -132,10 +141,14 @@ func List() []string {
 func Run(id string, o Options) ([]Table, error) {
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("exp: unknown experiment %q (use one of: %s)",
-			id, strings.Join(ids(), ", "))
+		return nil, unknownExperiment(id)
 	}
 	return r(o), nil
+}
+
+func unknownExperiment(id string) error {
+	return fmt.Errorf("exp: unknown experiment %q (use one of: %s)",
+		id, strings.Join(ids(), ", "))
 }
 
 func ids() []string {
@@ -228,26 +241,25 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 	return n, m
 }
 
-// runCache memoizes runs so experiments that share configurations — fig10
-// and headline, for example — simulate once per process.
-var runCache = map[string]network.Results{}
-
-// run executes warmup + measurement and returns the results.
+// run executes warmup + measurement and returns the results. Results are
+// memoized in runCache (see parallel.go): concurrent callers asking for the
+// same point share one simulation, and a worker-pool slot bounds how many
+// simulations execute at once.
 func run(s spec, o Options) network.Results {
 	key := fmt.Sprintf("%v|%v|%v|%+v", o.Quick, o.Full, o.Seed, s)
-	if got, ok := runCache[key]; ok {
-		return got
-	}
-	warm, meas := o.budget()
-	n, m := s.build(o)
-	horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
-	n.Launch(m, horizon)
-	n.Run(warm)
-	n.BeginMeasurement()
-	n.Run(meas)
-	r := n.Snapshot()
-	runCache[key] = r
-	return r
+	return runCache.do(key, func() (r network.Results) {
+		withSimSlot(func() {
+			warm, meas := o.budget()
+			n, m := s.build(o)
+			horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+			n.Launch(m, horizon)
+			n.Run(warm)
+			n.BeginMeasurement()
+			n.Run(meas)
+			r = n.Snapshot()
+		})
+		return r
+	})
 }
 
 // Point runs the paper's platform at one two-level-workload operating

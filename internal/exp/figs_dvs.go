@@ -43,15 +43,22 @@ func dvsSweep(o Options, tasks int) []Table {
 		Title:  fmt.Sprintf("Figure %d(b): normalized network power, %d tasks", 10+(100-tasks)/50, tasks),
 		Header: []string{"rate", "power(noDVS)", "power(DVS)", "savings"},
 	}
-	var baseLat, dvsLat, rates, savAt []float64
-	maxSav, sumSav := 0.0, 0.0
+	// Fan the whole (rate x policy) cross-product across the worker pool,
+	// then assemble rows sequentially in sweep order — the output is
+	// byte-identical to the old per-point loop.
+	specs := make([]spec, 0, 2*len(sweepRates))
 	for _, rate := range sweepRates {
 		sb := defaultSpec(rate, network.PolicyNone)
 		sb.tasks = tasks
 		sd := defaultSpec(rate, network.PolicyHistory)
 		sd.tasks = tasks
-		b := run(sb, o)
-		d := run(sd, o)
+		specs = append(specs, sb, sd)
+	}
+	res := sweepSpecs(o, specs)
+	var baseLat, dvsLat, rates, savAt []float64
+	maxSav, sumSav := 0.0, 0.0
+	for i, rate := range sweepRates {
+		b, d := res[2*i], res[2*i+1]
 		perf.AddRow(f(rate, 2), f(b.MeanLatency, 0), f(d.MeanLatency, 0),
 			f(b.ThroughputPkts, 3), f(d.ThroughputPkts, 3),
 			f(d.MeanLatency/b.MeanLatency, 2))
@@ -112,10 +119,14 @@ func runFig12(o Options) []Table {
 		Title:  "Figure 12: power and throughput under network congestion (100 tasks, DVS)",
 		Header: []string{"rate", "throughput", "power(W)", "normalized"},
 	}
+	specs := make([]spec, len(congestionRates))
+	for i, rate := range congestionRates {
+		specs[i] = defaultSpec(rate, network.PolicyHistory)
+	}
+	res := sweepSpecs(o, specs)
 	var thr, pw []float64
-	for _, rate := range congestionRates {
-		s := defaultSpec(rate, network.PolicyHistory)
-		r := run(s, o)
+	for i, rate := range congestionRates {
+		r := res[i]
 		t.AddRow(f(rate, 2), f(r.ThroughputPkts, 3), f(r.AvgPowerW, 1), f(r.NormalizedPwr, 3))
 		thr = append(thr, r.ThroughputPkts)
 		pw = append(pw, r.AvgPowerW)
@@ -143,14 +154,22 @@ func headline(o Options) []Table {
 		Title:  "Headline comparison vs the paper's abstract",
 		Header: []string{"metric", "paper", "measured"},
 	}
+	// All points of both curves run concurrently; the zero-load reference
+	// is the first DVS point, deduplicated by the cache.
+	specs := make([]spec, 0, 2*len(sweepRates))
+	for _, rate := range sweepRates {
+		specs = append(specs,
+			defaultSpec(rate, network.PolicyNone),
+			defaultSpec(rate, network.PolicyHistory))
+	}
+	res := sweepSpecs(o, specs)
 	var latRatioSum float64
 	var n int
 	maxSav, sumSav := 0.0, 0.0
 	var thrBase, thrDVS float64
 	zeroLoad := run(defaultSpec(sweepRates[0], network.PolicyHistory), o).MeanLatency
-	for _, rate := range sweepRates {
-		b := run(defaultSpec(rate, network.PolicyNone), o)
-		d := run(defaultSpec(rate, network.PolicyHistory), o)
+	for i := range sweepRates {
+		b, d := res[2*i], res[2*i+1]
 		// Pre-saturation points only (the paper's 2x zero-load rule on the
 		// DVS curve).
 		if d.MeanLatency <= 2*zeroLoad {
@@ -211,8 +230,15 @@ func runSaturation(o Options) []Table {
 		r := run(defaultSpec(hi, policy), o)
 		return hi, r.ThroughputPkts, zero
 	}
-	rb, tb, zb := measure(network.PolicyNone)
-	rd, td, zd := measure(network.PolicyHistory)
+	// Each policy's bisection is inherently sequential, but the two
+	// policies explore independent points — run them concurrently.
+	var sat [2][3]float64
+	policies := []network.PolicyKind{network.PolicyNone, network.PolicyHistory}
+	Sweep(len(policies), func(i int) {
+		sat[i][0], sat[i][1], sat[i][2] = measure(policies[i])
+	})
+	rb, tb, zb := sat[0][0], sat[0][1], sat[0][2]
+	rd, td, zd := sat[1][0], sat[1][1], sat[1][2]
 	t.AddRow("no DVS", f(rb, 2), f(tb, 3), f(zb, 0))
 	t.AddRow("history DVS", f(rd, 2), f(td, 3), f(zd, 0))
 	t.Notes = []string{

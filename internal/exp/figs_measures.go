@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // Figures 3-5 characterize the candidate DVS measures — link utilization,
@@ -28,19 +29,31 @@ type measureSet struct {
 	lu, bu, ba []*stats.Histogram // indexed by rate point
 }
 
-// measureCache memoizes the (expensive) characterization runs so fig3, fig4
-// and fig5 in one process share a single simulation per rate point.
-var measureCache = map[Options]*measureSet{}
-
+// measures runs the per-rate characterizations, one independent simulation
+// per rate point fanned across the worker pool; measureCache (parallel.go)
+// deduplicates concurrent callers so fig3, fig4 and fig5 in one process
+// share a single simulation set.
 func measures(o Options) *measureSet {
-	if got, ok := measureCache[o]; ok {
-		return got
-	}
-	ms := &measureSet{}
-	for _, rate := range measureRates {
-		lu := stats.NewHistogram(0, 1, 10)
-		bu := stats.NewHistogram(0, 1, 10)
-		ba := stats.NewHistogram(0, 100, 10) // cycles in buffer
+	return measureCache.do(o, func() *measureSet {
+		ms := &measureSet{
+			lu: make([]*stats.Histogram, len(measureRates)),
+			bu: make([]*stats.Histogram, len(measureRates)),
+			ba: make([]*stats.Histogram, len(measureRates)),
+		}
+		Sweep(len(measureRates), func(i int) {
+			ms.lu[i], ms.bu[i], ms.ba[i] = measureOneRate(measureRates[i], o)
+		})
+		return ms
+	})
+}
+
+// measureOneRate characterizes one load point: it simulates the platform
+// without DVS and samples the tracked link every measureWindow cycles.
+func measureOneRate(rate float64, o Options) (lu, bu, ba *stats.Histogram) {
+	withSimSlot(func() {
+		lu = stats.NewHistogram(0, 1, 10)
+		bu = stats.NewHistogram(0, 1, 10)
+		ba = stats.NewHistogram(0, 100, 10) // cycles in buffer
 
 		s := defaultSpec(rate, network.PolicyNone)
 		n, m := s.build(o)
@@ -75,13 +88,8 @@ func measures(o Options) *measureSet {
 		n.Run(warm)
 		measuring = true
 		n.Run(meas)
-
-		ms.lu = append(ms.lu, lu)
-		ms.bu = append(ms.bu, bu)
-		ms.ba = append(ms.ba, ba)
-	}
-	measureCache[o] = ms
-	return ms
+	})
+	return lu, bu, ba
 }
 
 // histTable renders per-rate histograms side by side, one row per bin.
@@ -139,20 +147,25 @@ func init() {
 // runFig8 snapshots per-node injection rates under the two-level workload.
 func runFig8(o Options) []Table {
 	s := defaultSpec(1.0, network.PolicyNone)
-	n, m := s.build(o)
 	warm, meas := o.budget()
-	horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
-	counts := make([]int64, n.Topo.Nodes())
-	counting := false
-	m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
-		if counting {
-			counts[src]++
-		}
-		n.Inject(src, dst, at, task)
+	var n *network.Network
+	var counts []int64
+	withSimSlot(func() {
+		var m *traffic.TwoLevel
+		n, m = s.build(o)
+		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+		counts = make([]int64, n.Topo.Nodes())
+		counting := false
+		m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
+			if counting {
+				counts[src]++
+			}
+			n.Inject(src, dst, at, task)
+		})
+		n.Run(warm)
+		counting = true
+		n.Run(meas)
 	})
-	n.Run(warm)
-	counting = true
-	n.Run(meas)
 
 	t := Table{Title: "Figure 8: spatial variance of injected load (packets/cycle per node)"}
 	t.Header = []string{"y\\x"}
@@ -186,28 +199,31 @@ func runFig8(o Options) []Table {
 // carries signal (a fixed node may host no task session under some seeds).
 func runFig9(o Options) []Table {
 	s := defaultSpec(1.0, network.PolicyNone)
-	n, m := s.build(o)
 	warm, meas := o.budget()
-	horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
 	const binCycles = 100
 	nbins := int(meas/binCycles) + 1
-	perNode := make([][]float64, n.Topo.Nodes())
-	for i := range perNode {
-		perNode[i] = make([]float64, nbins)
-	}
-	counting := false
-	m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
-		if counting {
-			b := int((at - sim.Time(warm)*n.Cfg.RouterPeriod) / (binCycles * n.Cfg.RouterPeriod))
-			if b >= 0 && b < nbins {
-				perNode[src][b]++
-			}
+	var perNode [][]float64
+	withSimSlot(func() {
+		n, m := s.build(o)
+		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+		perNode = make([][]float64, n.Topo.Nodes())
+		for i := range perNode {
+			perNode[i] = make([]float64, nbins)
 		}
-		n.Inject(src, dst, at, task)
+		counting := false
+		m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
+			if counting {
+				b := int((at - sim.Time(warm)*n.Cfg.RouterPeriod) / (binCycles * n.Cfg.RouterPeriod))
+				if b >= 0 && b < nbins {
+					perNode[src][b]++
+				}
+			}
+			n.Inject(src, dst, at, task)
+		})
+		n.Run(warm)
+		counting = true
+		n.Run(meas)
 	})
-	n.Run(warm)
-	counting = true
-	n.Run(meas)
 
 	busiest, best := 0, -1.0
 	for node, bs := range perNode {

@@ -57,44 +57,47 @@ func thresholdSpec(set core.ThresholdSetting, rate float64) spec {
 	return s
 }
 
-func runFig13(o Options) []Table {
-	t := Table{Title: "Figure 13: latency profile under DVS threshold settings (cycles)"}
+// thresholdGrid simulates the full (rate x Table 2 setting) cross-product
+// across the worker pool and renders one cell per point. Rows assemble in
+// fixed (rate, setting) order, so the table matches the sequential path
+// byte for byte.
+func thresholdGrid(o Options, title string, cell func(r network.Results) string, notes []string) Table {
+	t := Table{Title: title}
 	t.Header = []string{"rate"}
-	for _, s := range core.Table2Settings() {
+	settings := core.Table2Settings()
+	for _, s := range settings {
 		t.Header = append(t.Header, s.Name)
 	}
+	specs := make([]spec, 0, len(thresholdRates)*len(settings))
 	for _, rate := range thresholdRates {
+		for _, set := range settings {
+			specs = append(specs, thresholdSpec(set, rate))
+		}
+	}
+	res := sweepSpecs(o, specs)
+	for i, rate := range thresholdRates {
 		row := []string{f(rate, 2)}
-		for _, set := range core.Table2Settings() {
-			r := run(thresholdSpec(set, rate), o)
-			row = append(row, f(r.MeanLatency, 0))
+		for j := range settings {
+			row = append(row, cell(res[i*len(settings)+j]))
 		}
 		t.AddRow(row...)
 	}
-	t.Notes = []string{
-		"paper shape: more aggressive settings (I -> VI) raise latency",
-	}
-	return []Table{t}
+	t.Notes = notes
+	return t
+}
+
+func runFig13(o Options) []Table {
+	return []Table{thresholdGrid(o,
+		"Figure 13: latency profile under DVS threshold settings (cycles)",
+		func(r network.Results) string { return f(r.MeanLatency, 0) },
+		[]string{"paper shape: more aggressive settings (I -> VI) raise latency"})}
 }
 
 func runFig14(o Options) []Table {
-	t := Table{Title: "Figure 14: normalized power under DVS threshold settings"}
-	t.Header = []string{"rate"}
-	for _, s := range core.Table2Settings() {
-		t.Header = append(t.Header, s.Name)
-	}
-	for _, rate := range thresholdRates {
-		row := []string{f(rate, 2)}
-		for _, set := range core.Table2Settings() {
-			r := run(thresholdSpec(set, rate), o)
-			row = append(row, f(r.NormalizedPwr, 3))
-		}
-		t.AddRow(row...)
-	}
-	t.Notes = []string{
-		"paper shape: more aggressive settings (I -> VI) lower power",
-	}
-	return []Table{t}
+	return []Table{thresholdGrid(o,
+		"Figure 14: normalized power under DVS threshold settings",
+		func(r network.Results) string { return f(r.NormalizedPwr, 3) },
+		[]string{"paper shape: more aggressive settings (I -> VI) lower power"})}
 }
 
 func runFig15(o Options) []Table {
@@ -103,9 +106,15 @@ func runFig15(o Options) []Table {
 		Header: []string{"setting", "latency(cycles)", "savings"},
 	}
 	type pt struct{ lat, sav float64 }
+	settings := core.Table2Settings()
+	specs := make([]spec, len(settings))
+	for i, set := range settings {
+		specs[i] = thresholdSpec(set, fig15Rate)
+	}
+	res := sweepSpecs(o, specs)
 	var pts []pt
-	for _, set := range core.Table2Settings() {
-		r := run(thresholdSpec(set, fig15Rate), o)
+	for i, set := range settings {
+		r := res[i]
 		t.AddRow(set.Name, f(r.MeanLatency, 0), f(r.SavingsX, 2)+"X")
 		pts = append(pts, pt{r.MeanLatency, r.SavingsX})
 	}

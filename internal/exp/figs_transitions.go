@@ -20,14 +20,23 @@ func init() {
 	register("fig17", "network performance with varying frequency transition delay", runFig17)
 }
 
-// transitionTable sweeps one transition parameter at fixed workload.
+// transitionTable sweeps one transition parameter at fixed workload: the
+// whole (rate x column) grid simulates concurrently, rows assemble in
+// fixed order.
 func transitionTable(o Options, title string, cols []string, mk func(col int, rate float64) spec) Table {
 	t := Table{Title: title}
 	t.Header = append([]string{"rate"}, cols...)
+	specs := make([]spec, 0, len(transitionRates)*len(cols))
 	for _, rate := range transitionRates {
+		for c := range cols {
+			specs = append(specs, mk(c, rate))
+		}
+	}
+	res := sweepSpecs(o, specs)
+	for i, rate := range transitionRates {
 		row := []string{f(rate, 2)}
 		for c := range cols {
-			r := run(mk(c, rate), o)
+			r := res[i*len(cols)+c]
 			row = append(row, fmt.Sprintf("%s/%s", f(r.MeanLatency, 0), f(r.ThroughputPkts, 2)))
 		}
 		t.AddRow(row...)
@@ -52,16 +61,27 @@ func runFig16(o Options) []Table {
 				return s
 			})
 	}
-	a := sub("(a)", sim.Millisecond, 100)
-	b := sub("(b)", 10*sim.Microsecond, 100)
-	c := sub("(c)", sim.Millisecond, 10)
-	d := sub("(d)", 10*sim.Microsecond, 10)
-	b.Notes = append(b.Notes,
+	// The four subfigures are independent grids; build them concurrently.
+	var tabs [4]Table
+	parts := []struct {
+		label    string
+		taskDur  sim.Duration
+		freqTran int
+	}{
+		{"(a)", sim.Millisecond, 100},
+		{"(b)", 10 * sim.Microsecond, 100},
+		{"(c)", sim.Millisecond, 10},
+		{"(d)", 10 * sim.Microsecond, 10},
+	}
+	Sweep(len(parts), func(i int) {
+		tabs[i] = sub(parts[i].label, parts[i].taskDur, parts[i].freqTran)
+	})
+	tabs[1].Notes = append(tabs[1].Notes,
 		"paper shape: short tasks + slow voltage transitions hurt throughput most")
-	a.Notes = append(a.Notes,
+	tabs[0].Notes = append(tabs[0].Notes,
 		"paper: with slow 100-cycle locks, faster voltage transitions can RAISE latency",
 		"(more frequent transitions mean more dead re-lock windows)")
-	return []Table{a, b, c, d}
+	return tabs[:]
 }
 
 func runFig17(o Options) []Table {
@@ -80,11 +100,21 @@ func runFig17(o Options) []Table {
 				return s
 			})
 	}
-	a := sub("(a)", sim.Millisecond, 10*sim.Microsecond)
-	b := sub("(b)", 10*sim.Microsecond, 10*sim.Microsecond)
-	c := sub("(c)", sim.Millisecond, 1*sim.Microsecond)
-	d := sub("(d)", 10*sim.Microsecond, 1*sim.Microsecond)
-	b.Notes = append(b.Notes,
+	var tabs [4]Table
+	parts := []struct {
+		label    string
+		taskDur  sim.Duration
+		voltTran sim.Duration
+	}{
+		{"(a)", sim.Millisecond, 10 * sim.Microsecond},
+		{"(b)", 10 * sim.Microsecond, 10 * sim.Microsecond},
+		{"(c)", sim.Millisecond, 1 * sim.Microsecond},
+		{"(d)", 10 * sim.Microsecond, 1 * sim.Microsecond},
+	}
+	Sweep(len(parts), func(i int) {
+		tabs[i] = sub(parts[i].label, parts[i].taskDur, parts[i].voltTran)
+	})
+	tabs[1].Notes = append(tabs[1].Notes,
 		"paper shape: short tasks respond slowly to transitions, degrading throughput")
-	return []Table{a, b, c, d}
+	return tabs[:]
 }

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// renderIDs regenerates the given experiments from an empty cache and
+// returns the concatenated rendered tables.
+func renderIDs(t *testing.T, ids []string, o Options) string {
+	t.Helper()
+	ResetCaches()
+	var buf bytes.Buffer
+	tabs, err := RunAll(ids, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range tabs {
+		for _, tab := range exp {
+			tab.Fprint(&buf)
+		}
+	}
+	return buf.String()
+}
+
+// TestParallelDeterminism is the core guarantee of the parallel executor:
+// regenerating fig10 and fig13 at three distinct parallelism levels, each
+// from a cold cache, produces byte-identical tables. Every simulation
+// point seeds its own RNG streams and builds its own network, so execution
+// order cannot leak into results.
+func TestParallelDeterminism(t *testing.T) {
+	tinyBudget = true
+	defer func() { tinyBudget = false; ResetCaches() }()
+	defer SetParallelism(0)
+
+	ids := []string{"fig10", "fig13"}
+	o := Options{Quick: true}
+
+	SetParallelism(1)
+	sequential := renderIDs(t, ids, o)
+	if !strings.Contains(sequential, "Figure 10(a)") || !strings.Contains(sequential, "Figure 13") {
+		t.Fatalf("reference output incomplete:\n%s", sequential)
+	}
+	for _, j := range []int{2, 8} {
+		SetParallelism(j)
+		if got := renderIDs(t, ids, o); got != sequential {
+			t.Errorf("-j %d output differs from sequential output\n--- j=%d ---\n%s\n--- j=1 ---\n%s",
+				j, j, got, sequential)
+		}
+	}
+}
+
+// TestRunAllMatchesRun: RunAll returns exactly what id-by-id Run returns,
+// in input order.
+func TestRunAllMatchesRun(t *testing.T) {
+	ids := []string{"tab2", "tab1", "fig7"}
+	all, err := RunAll(ids, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Fatalf("RunAll returned %d results for %d ids", len(all), len(ids))
+	}
+	for i, id := range ids {
+		want, err := Run(id, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		for _, tab := range all[i] {
+			tab.Fprint(&a)
+		}
+		for _, tab := range want {
+			tab.Fprint(&b)
+		}
+		if a.String() != b.String() {
+			t.Errorf("RunAll[%d] (%s) differs from Run(%s)", i, id, id)
+		}
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := RunAll([]string{"tab1", "nope"}, quick); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestPointConcurrent hammers the public Point entry from many goroutines:
+// the old plain-map caches raced here; the singleflight cache must both
+// survive the race detector and return identical results everywhere.
+func TestPointConcurrent(t *testing.T) {
+	tinyBudget = true
+	defer func() { tinyBudget = false; ResetCaches() }()
+	ResetCaches()
+
+	reference := Point(1.0, network.PolicyHistory, quick)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]network.Results, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = Point(1.0, network.PolicyHistory, quick)
+		}(g)
+	}
+	wg.Wait()
+	for g, r := range results {
+		if r != reference {
+			t.Errorf("goroutine %d saw different results: %+v vs %+v", g, r, reference)
+		}
+	}
+}
+
+// TestSweepRunsAllIndices: every index runs exactly once even when n far
+// exceeds the worker bound.
+func TestSweepRunsAllIndices(t *testing.T) {
+	SetParallelism(3)
+	defer SetParallelism(0)
+	const n = 100
+	hits := make([]int, n)
+	var mu sync.Mutex
+	Sweep(n, func(i int) {
+		withSimSlot(func() {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+		})
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+// TestSFCacheSingleflight: concurrent requests for one key compute once.
+func TestSFCacheSingleflight(t *testing.T) {
+	c := newSFCache[string, int](8)
+	var computes int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := c.do("k", func() int {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				return 42
+			})
+			if v != 42 {
+				t.Errorf("got %d, want 42", v)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Errorf("computed %d times, want 1 (singleflight)", computes)
+	}
+}
+
+// TestSFCacheEviction: the cache never exceeds its cap with completed
+// entries, evicts oldest-first, and recomputes evicted keys.
+func TestSFCacheEviction(t *testing.T) {
+	c := newSFCache[int, int](4)
+	computes := make(map[int]int)
+	get := func(k int) int {
+		return c.do(k, func() int {
+			computes[k]++
+			return k * 10
+		})
+	}
+	for k := 0; k < 10; k++ {
+		if got := get(k); got != k*10 {
+			t.Fatalf("get(%d) = %d", k, got)
+		}
+	}
+	if n := len(c.entries); n > 4 {
+		t.Errorf("cache holds %d entries, cap 4", n)
+	}
+	// Key 0 was evicted long ago: fetching it recomputes.
+	get(0)
+	if computes[0] != 2 {
+		t.Errorf("evicted key recomputed %d times, want 2", computes[0])
+	}
+	// A recent key is still cached.
+	get(9)
+	if computes[9] != 1 {
+		t.Errorf("recent key computed %d times, want 1", computes[9])
+	}
+}
+
+func TestParallelismBounds(t *testing.T) {
+	SetParallelism(2)
+	defer SetParallelism(0)
+	if got := Parallelism(); got != 2 {
+		t.Errorf("Parallelism() = %d, want 2", got)
+	}
+	var mu sync.Mutex
+	active, peak := 0, 0
+	Sweep(16, func(i int) {
+		withSimSlot(func() {
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			mu.Lock()
+			active--
+			mu.Unlock()
+		})
+	})
+	if peak > 2 {
+		t.Errorf("observed %d concurrent slots, bound 2", peak)
+	}
+}

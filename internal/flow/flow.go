@@ -90,10 +90,13 @@ type Flit struct {
 }
 
 // NewPacketFlits constructs the flit train for a packet: a head, three
-// bodies, and a tail.
+// bodies, and a tail. All five flits live in one backing array, so building
+// a packet costs two allocations (backing + pointer slice) instead of one
+// per flit — routers and links keep *Flit identity across hops as before.
 func NewPacketFlits(p *Packet) []*Flit {
+	backing := make([]Flit, FlitsPerPacket)
 	flits := make([]*Flit, FlitsPerPacket)
-	for i := range flits {
+	for i := range backing {
 		k := Body
 		switch i {
 		case 0:
@@ -101,7 +104,8 @@ func NewPacketFlits(p *Packet) []*Flit {
 		case FlitsPerPacket - 1:
 			k = Tail
 		}
-		flits[i] = &Flit{Packet: p, Kind: k, Seq: i}
+		backing[i] = Flit{Packet: p, Kind: k, Seq: i}
+		flits[i] = &backing[i]
 	}
 	return flits
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"repro/internal/sim"
 )
@@ -29,6 +30,40 @@ func TestNewPacketFlits(t *testing.T) {
 		if f.Seq != i || f.Packet != p {
 			t.Errorf("flit %d: seq=%d packet=%p", i, f.Seq, f.Packet)
 		}
+	}
+}
+
+// TestPacketFlitsShareBacking pins the allocation contract: the five flits
+// of one packet live contiguously in a single backing array, and mutating
+// one flit through its pointer never disturbs its neighbors.
+func TestPacketFlitsShareBacking(t *testing.T) {
+	p := NewPacket(1, 0, 5, 0, -1)
+	flits := NewPacketFlits(p)
+	for i := 1; i < len(flits); i++ {
+		gap := uintptr(unsafe.Pointer(flits[i])) - uintptr(unsafe.Pointer(flits[i-1]))
+		if gap != unsafe.Sizeof(Flit{}) {
+			t.Fatalf("flit %d not contiguous with flit %d (gap %d bytes)", i, i-1, gap)
+		}
+	}
+	flits[2].VC = 7
+	for i, f := range flits {
+		if i != 2 && f.VC != 0 {
+			t.Errorf("flit %d VC mutated to %d via neighbor write", i, f.VC)
+		}
+		if f.Seq != i {
+			t.Errorf("flit %d seq corrupted: %d", i, f.Seq)
+		}
+	}
+}
+
+// BenchmarkPacketAlloc measures packet + flit-train construction, the
+// allocation hot path of packet injection (2 allocs for the train: backing
+// array + pointer slice, down from 5 separate flits).
+func BenchmarkPacketAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(int64(i), 0, 1, 0, -1)
+		_ = NewPacketFlits(p)
 	}
 }
 

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Event is a closure scheduled to run at a fixed instant. Events scheduled
 // for the same instant run in the order they were scheduled (FIFO within a
 // timestamp), which keeps runs deterministic regardless of heap internals.
@@ -12,36 +10,76 @@ type Event struct {
 	seq int64 // tie-breaker for same-instant events
 }
 
-// eventHeap orders events by (At, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Scheduler is a discrete-event executive. The zero value is ready to use.
 //
 // The network advances mostly cycle-by-cycle (the routers are synchronous),
 // but link arrivals, DVS transitions and task-session boundaries land at
-// arbitrary picosecond instants; those are what the event heap carries.
+// arbitrary picosecond instants; those are what the event queue carries.
+//
+// The queue is a 4-ary min-heap ordered by (At, seq) with events stored
+// inline in the slice: steady-state push/pop moves Event values only — no
+// per-event heap allocation, no pointer boxing (the slice grows amortized
+// when the pending count reaches a new high-water mark).
 type Scheduler struct {
 	now    Time
-	heap   eventHeap
+	queue  []Event
 	nextID int64
+}
+
+// eventLess orders events by (At, seq): time order, FIFO within an instant.
+func eventLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+// heapArity balances sift depth against per-level comparisons. A 4-ary heap
+// halves the tree depth of a binary heap, and discrete-event queues pop far
+// more than they reorder, so fewer levels win.
+const heapArity = 4
+
+// push appends e and restores the heap invariant bottom-up.
+func (s *Scheduler) push(e Event) {
+	s.queue = append(s.queue, e)
+	i := len(s.queue) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !eventLess(&s.queue[i], &s.queue[p]) {
+			break
+		}
+		s.queue[i], s.queue[p] = s.queue[p], s.queue[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event.
+func (s *Scheduler) pop() Event {
+	top := s.queue[0]
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n] = Event{} // release the closure for the collector
+	s.queue = s.queue[:n]
+	i := 0
+	for {
+		min := i
+		first := heapArity*i + 1
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if eventLess(&s.queue[c], &s.queue[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s.queue[i], s.queue[min] = s.queue[min], s.queue[i]
+		i = min
+	}
+	return top
 }
 
 // Now reports the current simulation instant.
@@ -55,22 +93,22 @@ func (s *Scheduler) At(t Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	s.nextID++
-	heap.Push(&s.heap, &Event{At: t, Run: fn, seq: s.nextID})
+	s.push(Event{At: t, Run: fn, seq: s.nextID})
 }
 
 // After schedules fn to run d picoseconds from now.
 func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now+d, fn) }
 
 // Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // PeekTime reports the instant of the earliest queued event, or Infinity if
 // the queue is empty.
 func (s *Scheduler) PeekTime() Time {
-	if len(s.heap) == 0 {
+	if len(s.queue) == 0 {
 		return Infinity
 	}
-	return s.heap[0].At
+	return s.queue[0].At
 }
 
 // RunUntil executes events in timestamp order until the queue is empty or
@@ -78,8 +116,8 @@ func (s *Scheduler) PeekTime() Time {
 // events executed and leaves Now at max(Now, deadline).
 func (s *Scheduler) RunUntil(deadline Time) int {
 	n := 0
-	for len(s.heap) > 0 && s.heap[0].At <= deadline {
-		ev := heap.Pop(&s.heap).(*Event)
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		ev := s.pop()
 		s.now = ev.At
 		ev.Run()
 		n++
@@ -93,10 +131,10 @@ func (s *Scheduler) RunUntil(deadline Time) int {
 // Step executes the single earliest event, if any, and reports whether one
 // ran.
 func (s *Scheduler) Step() bool {
-	if len(s.heap) == 0 {
+	if len(s.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.heap).(*Event)
+	ev := s.pop()
 	s.now = ev.At
 	ev.Run()
 	return true

@@ -99,6 +99,68 @@ func TestSchedulerPeekAndStep(t *testing.T) {
 	}
 }
 
+// TestSchedulerHeapStress drives the 4-ary heap through adversarial
+// push/pop interleavings — duplicate timestamps, descending inserts, bulk
+// drains — and checks the dequeue order is the fully sorted (At, seq)
+// order.
+func TestSchedulerHeapStress(t *testing.T) {
+	rng := NewRNG(7)
+	var s Scheduler
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var got []rec
+	pending := 0
+	seq := 0
+	for round := 0; round < 200; round++ {
+		// A burst of inserts, many sharing instants.
+		burst := 1 + rng.Intn(8)
+		for b := 0; b < burst; b++ {
+			at := s.Now() + Time(rng.Intn(5)) // heavy timestamp collisions
+			seq++
+			mySeq := seq
+			s.At(at, func() { got = append(got, rec{at, mySeq}) })
+			pending++
+		}
+		// Drain a random prefix one Step at a time.
+		drain := rng.Intn(pending + 1)
+		for d := 0; d < drain; d++ {
+			if !s.Step() {
+				t.Fatal("Step reported empty with events pending")
+			}
+			pending--
+		}
+	}
+	s.RunUntil(s.Now() + Infinity/2)
+	if len(got) != seq {
+		t.Fatalf("executed %d events, scheduled %d", len(got), seq)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at ||
+			(got[i].at == got[i-1].at && got[i].seq < got[i-1].seq) {
+			t.Fatalf("order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// BenchmarkSchedulerPushPop measures the steady-state cost of one
+// schedule+dispatch pair with ~1k events pending: this is the simulation
+// kernel's hot path. The inline 4-ary heap must not allocate per event.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	var s Scheduler
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+Time(i%64)+1, fn)
+		s.Step()
+	}
+}
+
 // TestSchedulerOrderProperty: random interleaved schedules always execute
 // in nondecreasing time order, FIFO within an instant.
 func TestSchedulerOrderProperty(t *testing.T) {

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"io"
+	"strings"
 
 	"repro/internal/exp"
 )
@@ -43,4 +44,34 @@ func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
 		t.FprintCSV(w)
 	}
 	return nil
+}
+
+// SetExperimentParallelism bounds how many simulations the experiment
+// harness executes concurrently; j <= 0 restores the default, GOMAXPROCS.
+// Parallel runs are bit-for-bit identical to sequential runs: every
+// simulation point is independently seeded, so execution order cannot leak
+// into results.
+func SetExperimentParallelism(j int) { exp.SetParallelism(j) }
+
+// RunExperiments regenerates several experiments concurrently (bounded by
+// SetExperimentParallelism) and returns each one's rendered output in
+// input order. Points shared between experiments simulate once.
+func RunExperiments(ids []string, o ExperimentOptions, csv bool) ([]string, error) {
+	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(all))
+	for i, tabs := range all {
+		var sb strings.Builder
+		for _, t := range tabs {
+			if csv {
+				t.FprintCSV(&sb)
+			} else {
+				t.Fprint(&sb)
+			}
+		}
+		out[i] = sb.String()
+	}
+	return out, nil
 }

@@ -127,6 +127,43 @@ func TestRunExperimentTab1(t *testing.T) {
 	}
 }
 
+// TestRunExperimentsParallelFacade: the concurrent multi-experiment entry
+// returns per-id output identical to one-at-a-time RunExperiment calls, in
+// input order, at an explicit parallelism bound.
+func TestRunExperimentsParallelFacade(t *testing.T) {
+	SetExperimentParallelism(4)
+	defer SetExperimentParallelism(0)
+	ids := []string{"tab1", "fig7", "tab2"}
+	o := ExperimentOptions{Quick: true}
+	got, err := RunExperiments(ids, o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("got %d outputs for %d ids", len(got), len(ids))
+	}
+	for i, id := range ids {
+		var buf bytes.Buffer
+		if err := RunExperiment(id, o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != buf.String() {
+			t.Errorf("RunExperiments[%d] (%s) differs from RunExperiment", i, id)
+		}
+	}
+	if _, err := RunExperiments([]string{"nope"}, o, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// CSV mode renders CSV.
+	csv, err := RunExperiments([]string{"tab1"}, o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv[0], "# Table 1") {
+		t.Errorf("CSV output missing comment title:\n%s", csv[0])
+	}
+}
+
 func TestTracing(t *testing.T) {
 	n, _ := New(smallCfg(PolicyNone))
 	if err := n.DumpTrace(nil, ""); err == nil {
