@@ -1,15 +1,28 @@
-# Tier-1 verification plus the race detector and the hot-path benchmarks.
+# Tier-1 verification plus the fast developer loop.
 #
-#   make check   # everything below: vet, build, race-enabled tests, benches
-#   make test    # plain tier-1 tests (what the seed ran)
+#   make check   # the pre-commit gate: vet + short tests + race on the fast
+#                # packages + a 10s fuzz smoke of each fuzz target
+#   make test    # plain tier-1 tests (what the seed ran; includes the
+#                # quick-budget simulations and the golden-figure pin)
+#   make short   # go test -short ./... — structural tests only, < 60 s
 #   make race    # full test suite under the race detector
+#   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
 #   make bench   # scheduler + packet-alloc micro-benchmarks (alloc counts)
+#   make golden  # regenerate testdata/golden after an intentional change
+#
+# `make short` skips the long simulations (testing.Short()); run `make test`
+# before shipping anything that could move simulated numbers — the golden
+# test in internal/exp pins quick-mode figure output byte-for-byte.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+# Packages with concurrency of their own: the experiment harness fan-out
+# and the public facade. Everything else is single-threaded simulation.
+RACE_FAST = ./internal/sim ./internal/stats ./noc
 
-check: vet build race bench
+.PHONY: check vet build test short race race-fast fuzz bench golden
+
+check: vet build short race-fast fuzz
 
 vet:
 	$(GO) vet ./...
@@ -20,11 +33,26 @@ build:
 test:
 	$(GO) test ./...
 
+short:
+	$(GO) test -short ./...
+
 # The race detector slows the experiment suite ~10x; the default 10m
 # per-package test timeout is not enough on small machines.
 race:
 	$(GO) test -race -timeout 60m ./...
 
+# Race coverage for `make check`: short mode over the packages where
+# goroutines actually meet (the parallel harness runs tinyBudget sims).
+race-fast:
+	$(GO) test -race -short $(RACE_FAST) ./internal/exp
+
+fuzz:
+	$(GO) test ./internal/routing -run xxx -fuzz FuzzRoute -fuzztime 10s
+	$(GO) test ./internal/topology -run xxx -fuzz FuzzTopologyCoords -fuzztime 10s
+
 bench:
 	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem
+
+golden:
+	$(GO) test ./internal/exp -run TestGoldenFigures -update

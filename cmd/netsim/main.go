@@ -35,6 +35,7 @@ func main() {
 		warmup   = flag.Int64("warmup", 60_000, "warmup cycles before measurement")
 		measure  = flag.Int64("cycles", 150_000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		audit    = flag.Bool("audit", false, "verify runtime invariants (conservation, VC and DVS legality) during the run")
 		levels   = flag.Bool("levels", false, "print the final DVS level histogram")
 		traceN   = flag.Int("trace", 0, "dump the last N trace events after the run")
 		traceK   = flag.String("tracekind", "", "trace filter: inject | deliver | transition | policy")
@@ -81,6 +82,9 @@ func main() {
 	}
 	if set["seed"] || *cfgPath == "" {
 		cfg.Seed = *seed
+	}
+	if set["audit"] || *cfgPath == "" {
+		cfg.Audit = *audit
 	}
 
 	n, err := noc.New(cfg)
@@ -156,6 +160,10 @@ func main() {
 	fmt.Printf("throughput : %.3f packets/cycle\n", r.ThroughputPkts)
 	fmt.Printf("power      : %.1f W avg (%.3f of non-DVS baseline, %.2fX savings)\n",
 		r.AvgPowerW, r.NormalizedPower, r.PowerSavingsX)
+	if s, ok := n.AuditStats(); ok {
+		fmt.Printf("audit      : %d scans, %d checks, %d violations\n",
+			s.Scans, s.Checks, s.Violations)
+	}
 	if *levels {
 		fmt.Printf("levels     :")
 		for lvl, count := range n.LevelHistogram() {

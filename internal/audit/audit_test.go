@@ -1,0 +1,232 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/flow"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildAudited returns a small audited mesh whose violations land in the
+// returned slice instead of panicking.
+func buildAudited(t *testing.T, mutate func(*network.Config)) (*network.Network, *[]audit.Violation) {
+	t.Helper()
+	var got []audit.Violation
+	cfg := network.NewConfig()
+	cfg.K = 4
+	cfg.Audit = audit.Options{
+		Enabled:     true,
+		ScanEvery:   16,
+		OnViolation: func(v audit.Violation) { got = append(got, v) },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, &got
+}
+
+// launchTwoLevel attaches the paper's workload through the given cycle.
+func launchTwoLevel(t *testing.T, n *network.Network, rate float64, cycles int64) {
+	t.Helper()
+	p := traffic.NewTwoLevelParams(rate)
+	p.Seed = 7
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Launch(m, sim.Time(cycles+1)*n.Cfg.RouterPeriod)
+}
+
+// rules collects the distinct violation rules seen.
+func rules(vs []audit.Violation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Rule]++
+	}
+	return m
+}
+
+// TestCleanRunNoViolations: a healthy simulation under the paper's DVS
+// policy — link transitions, credit round trips, thousands of packets —
+// raises no violations while the checker demonstrably works.
+func TestCleanRunNoViolations(t *testing.T) {
+	n, got := buildAudited(t, nil)
+	launchTwoLevel(t, n, 0.5, 20_000)
+	n.Run(20_000)
+	if len(*got) != 0 {
+		t.Fatalf("clean run produced %d violations, first: %v", len(*got), (*got)[0])
+	}
+	s := n.Auditor().Stats()
+	if s.Scans == 0 || s.Checks == 0 {
+		t.Fatalf("audit did no work: %+v", s)
+	}
+	if s.Violations != 0 {
+		t.Fatalf("stats count violations the collector never saw: %+v", s)
+	}
+}
+
+// TestCleanRunAdaptiveRouting exercises the escape-VC adaptive router
+// under audit.
+func TestCleanRunAdaptiveRouting(t *testing.T) {
+	n, got := buildAudited(t, func(c *network.Config) { c.Routing = "adaptive" })
+	launchTwoLevel(t, n, 0.5, 15_000)
+	n.Run(15_000)
+	if len(*got) != 0 {
+		t.Fatalf("adaptive clean run produced %d violations, first: %v", len(*got), (*got)[0])
+	}
+}
+
+// TestCreditDropCaught is the fault-injection acceptance check: silently
+// discarding a single credit — the canonical flow-control corruption —
+// must be caught by the next conservation scan with a diagnostic naming
+// the router, port and VC.
+func TestCreditDropCaught(t *testing.T) {
+	n, got := buildAudited(t, nil)
+	launchTwoLevel(t, n, 0.5, 2_000)
+	n.Run(1_000)
+	if len(*got) != 0 {
+		t.Fatalf("violations before the fault: %v", (*got)[0])
+	}
+
+	node := n.Topo.NodeAt(1, 1)
+	port := n.Topo.PortFor(0, topology.Plus)
+	const vc = 1
+	n.Routers[node].Outputs[port].DropCreditForTest(vc)
+
+	n.Run(1_000)
+	if len(*got) == 0 {
+		t.Fatal("dropped credit went undetected")
+	}
+	v := (*got)[0]
+	if v.Rule != "credit-conservation" {
+		t.Fatalf("rule = %q, want credit-conservation (%v)", v.Rule, v)
+	}
+	if v.Node != node || v.Port != port || v.VC != vc {
+		t.Fatalf("diagnostic names (router %d, port %d, vc %d), want (%d, %d, %d): %v",
+			v.Node, v.Port, v.VC, node, port, vc, v)
+	}
+	for _, part := range []string{"router", "port", "vc", "does not balance"} {
+		if !strings.Contains(v.String(), part) {
+			t.Errorf("diagnostic %q missing %q", v.String(), part)
+		}
+	}
+}
+
+// TestDeadlockWatchdog: wedging a channel (draining all its credits) stalls
+// an injected packet forever; the watchdog must fire with a wait-for dump
+// naming the blocked VC and what it waits on.
+func TestDeadlockWatchdog(t *testing.T) {
+	n, got := buildAudited(t, func(c *network.Config) {
+		c.Policy = network.PolicyNone
+		c.Audit.StallCycles = 1_500
+	})
+
+	// Drain every credit of node 0's +x channel, then send a packet that
+	// must cross it (DOR corrects dimension 0 first).
+	src := n.Topo.NodeAt(0, 0)
+	dst := n.Topo.NodeAt(3, 0)
+	port := n.Topo.PortFor(0, topology.Plus)
+	out := n.Routers[src].Outputs[port]
+	for vc := 0; vc < out.VCs(); vc++ {
+		for out.Credits(vc) > 0 {
+			out.DropCreditForTest(vc)
+		}
+	}
+	n.Inject(src, dst, 0, 0)
+	n.Run(4_000)
+
+	r := rules(*got)
+	if r["deadlock"] == 0 {
+		t.Fatalf("watchdog never fired; rules seen: %v", r)
+	}
+	var dump string
+	for _, v := range *got {
+		if v.Rule == "deadlock" {
+			dump = v.Msg
+			break
+		}
+	}
+	for _, part := range []string{"wait-for", "router 0", "packet 1", "0 credits"} {
+		if !strings.Contains(dump, part) {
+			t.Errorf("wait-for dump missing %q:\n%s", part, dump)
+		}
+	}
+}
+
+// TestLivelockAgeLimit: MaxPacketAge flags a packet that outstays its
+// welcome in the network.
+func TestLivelockAgeLimit(t *testing.T) {
+	n, got := buildAudited(t, func(c *network.Config) {
+		c.Policy = network.PolicyNone
+		c.Audit.ScanEvery = 8
+		c.Audit.MaxPacketAge = 5
+	})
+	n.Inject(n.Topo.NodeAt(0, 0), n.Topo.NodeAt(3, 3), 0, 0)
+	n.Run(40) // ~6 hops x 13-cycle pipeline: still in flight at age 5
+	if rules(*got)["livelock"] == 0 {
+		t.Fatalf("age limit never tripped; rules seen: %v", rules(*got))
+	}
+}
+
+// TestGhostFlitCaught: ejecting a flit the ledger never saw is reported.
+func TestGhostFlitCaught(t *testing.T) {
+	n, got := buildAudited(t, nil)
+	p := flow.NewPacket(999, 0, 5, 0, 0)
+	f := flow.NewPacketFlits(p)[0]
+	n.Auditor().OnEject(f, 5, 0)
+	if len(*got) != 1 || (*got)[0].Rule != "flit-conservation" {
+		t.Fatalf("ghost eject not reported: %v", *got)
+	}
+	if !strings.Contains((*got)[0].Msg, "not in flight") {
+		t.Errorf("diagnostic %q does not explain the ghost", (*got)[0].Msg)
+	}
+}
+
+// TestDuplicateInjectCaught: reusing a packet ID is a ledger violation.
+func TestDuplicateInjectCaught(t *testing.T) {
+	n, got := buildAudited(t, nil)
+	p := flow.NewPacket(42, 0, 5, 0, 0)
+	n.Auditor().OnInject(p, 0)
+	n.Auditor().OnInject(p, 0)
+	if len(*got) != 1 || !strings.Contains((*got)[0].Msg, "twice") {
+		t.Fatalf("duplicate inject not reported: %v", *got)
+	}
+}
+
+// TestViolationString pins the diagnostic format tests and humans grep for.
+func TestViolationString(t *testing.T) {
+	v := audit.Violation{Rule: "credit-conservation", Cycle: 128, Node: 9, Port: 2, VC: 1, Msg: "imbalance"}
+	s := v.String()
+	for _, part := range []string{"audit[credit-conservation]", "cycle 128", "router 9", "port 2", "vc 1", "imbalance"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String() = %q missing %q", s, part)
+		}
+	}
+	bare := audit.Violation{Rule: "deadlock", Cycle: 5, Node: -1, Port: -1, VC: -1, Msg: "stuck"}
+	if s := bare.String(); strings.Contains(s, "router") || strings.Contains(s, "port") {
+		t.Errorf("coordinate-free violation leaked coordinates: %q", s)
+	}
+}
+
+// TestDisabledAuditIsAbsent: without the option the network carries no
+// checker at all.
+func TestDisabledAuditIsAbsent(t *testing.T) {
+	cfg := network.NewConfig()
+	cfg.K = 4
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Auditor() != nil {
+		t.Fatal("audit present despite Enabled=false")
+	}
+}

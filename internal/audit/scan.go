@@ -1,0 +1,294 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/link"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// scanConservation verifies the two conservation laws at a consistent
+// instant (between network steps):
+//
+// Flits: every active packet (dequeued from its source, not yet
+// delivered) accounts for exactly FlitsPerPacket flits across source
+// injector, in-transit messages, input buffers, output pipelines and the
+// already-ejected tally — and no flit of any other packet exists anywhere.
+//
+// Credits: for every inter-router channel and VC, upstream credits +
+// flits in the upstream output pipeline + flits on the wire + flits in the
+// downstream buffer + credits on the return wire == downstream buffer
+// depth. Dropping, duplicating or misrouting either a flit or a credit
+// anywhere in the protocol breaks this sum.
+func (c *Checker) scanConservation(cycle int64) {
+	flits := c.flitCount
+	tFlit := c.transitFlit
+	tCred := c.transitCred
+	clear(flits)
+	clear(tFlit)
+	clear(tCred)
+
+	count := func(node, port, vc int, f *flow.Flit) {
+		flits[f.Packet.ID]++
+		c.check(f.Seq >= 0 && f.Seq < flow.FlitsPerPacket && f.Packet != nil, func() Violation {
+			return Violation{Rule: "flit-conservation", Cycle: cycle, Node: node, Port: port, VC: vc,
+				Msg: fmt.Sprintf("malformed flit seq=%d", f.Seq)}
+		})
+	}
+
+	c.w.WalkTransit(TransitVisitor{
+		Flit: func(in *router.InputPort, f *flow.Flit) {
+			count(-1, -1, f.VC, f)
+			tFlit[inKey{in, f.VC}]++
+		},
+		Credit: func(out *router.OutputPort, vc int) {
+			tCred[outKey{out, vc}]++
+		},
+		SourceFlit: func(src int, f *flow.Flit) {
+			count(src, topology.LocalPort, -1, f)
+		},
+	})
+	for node, r := range c.w.Routers {
+		for port, in := range r.Inputs {
+			for vc := 0; vc < in.VCs(); vc++ {
+				in.ForEachFlit(vc, func(f *flow.Flit) { count(node, port, vc, f) })
+			}
+		}
+		for port, out := range r.Outputs {
+			for _, e := range out.Tx() {
+				count(node, port, e.Flit().VC, e.Flit())
+			}
+		}
+	}
+
+	// Ledger cross-checks.
+	c.check(int64(len(c.ledger)) == c.w.InFlight(), func() Violation {
+		return Violation{Rule: "flit-conservation", Cycle: cycle, Node: -1, Port: -1, VC: -1,
+			Msg: fmt.Sprintf("ledger holds %d packets but the network reports %d in flight", len(c.ledger), c.w.InFlight())}
+	})
+	for id, rec := range c.active {
+		found := flits[id]
+		c.check(found+int(rec.ejected) == flow.FlitsPerPacket, func() Violation {
+			return Violation{Rule: "flit-conservation", Cycle: cycle, Node: -1, Port: -1, VC: -1,
+				Msg: fmt.Sprintf("packet %d accounts for %d present + %d ejected flits, want %d", id, found, rec.ejected, flow.FlitsPerPacket)}
+		})
+		delete(flits, id)
+		if c.opts.MaxPacketAge > 0 {
+			c.check(cycle-rec.dequeueCycle <= c.opts.MaxPacketAge, func() Violation {
+				return Violation{Rule: "livelock", Cycle: cycle, Node: -1, Port: -1, VC: -1,
+					Msg: fmt.Sprintf("packet %d has been in the network %d cycles (limit %d)", id, cycle-rec.dequeueCycle, c.opts.MaxPacketAge)}
+			})
+		}
+	}
+	// Anything left was found in the network without an active ledger entry.
+	for _, id := range sortedKeys(flits) {
+		c.report(Violation{Rule: "flit-conservation", Cycle: cycle, Node: -1, Port: -1, VC: -1,
+			Msg: fmt.Sprintf("found %d ghost flits of packet %d, which is not in flight", flits[id], id)})
+	}
+
+	// Credit conservation per connected channel.
+	for i := range c.channels {
+		ch := &c.channels[i]
+		depth := ch.in.BufPerVC()
+		for vc := range c.perVCTx {
+			c.perVCTx[vc] = 0
+		}
+		for _, e := range ch.out.Tx() {
+			c.perVCTx[e.Flit().VC]++
+		}
+		for vc := 0; vc < ch.out.VCs(); vc++ {
+			vc := vc
+			credits := ch.out.Credits(vc)
+			c.check(credits >= 0 && credits <= depth, func() Violation {
+				return Violation{Rule: "credit-conservation", Cycle: cycle, Node: ch.node, Port: ch.port, VC: vc,
+					Msg: fmt.Sprintf("credit counter %d outside [0, %d]", credits, depth)}
+			})
+			total := credits + c.perVCTx[vc] + tFlit[inKey{ch.in, vc}] + ch.in.OccupiedVC(vc) + tCred[outKey{ch.out, vc}]
+			c.check(total == depth, func() Violation {
+				return Violation{Rule: "credit-conservation", Cycle: cycle, Node: ch.node, Port: ch.port, VC: vc,
+					Msg: fmt.Sprintf("round trip does not balance: %d credits + %d in tx + %d on wire + %d buffered downstream + %d credits returning = %d, want buffer depth %d",
+						credits, c.perVCTx[vc], tFlit[inKey{ch.in, vc}], ch.in.OccupiedVC(vc), tCred[outKey{ch.out, vc}], total, depth)}
+			})
+		}
+	}
+	// Unconnected mesh-edge ports must stay pristine: minimal routing never
+	// sends a flit off the edge, so full credits and an empty pipeline.
+	for i := range c.edges {
+		e := &c.edges[i]
+		c.check(len(e.out.Tx()) == 0, func() Violation {
+			return Violation{Rule: "credit-conservation", Cycle: cycle, Node: e.node, Port: e.port, VC: -1,
+				Msg: fmt.Sprintf("%d flits queued on an unconnected mesh-edge port", len(e.out.Tx()))}
+		})
+		for vc := 0; vc < e.out.VCs(); vc++ {
+			vc := vc
+			c.check(e.out.Credits(vc) == e.out.TotalSlots()/e.out.VCs(), func() Violation {
+				return Violation{Rule: "credit-conservation", Cycle: cycle, Node: e.node, Port: e.port, VC: vc,
+					Msg: fmt.Sprintf("unconnected mesh-edge port lost credits (%d left)", e.out.Credits(vc))}
+			})
+		}
+	}
+}
+
+// scanRouters verifies the VC state machines: buffered flit trains are
+// framed head..tail with no interleaving, allocation stages are coherent,
+// and input/output VC ownership links agree in both directions (the
+// structural form of "no grant without request").
+func (c *Checker) scanRouters(cycle int64) {
+	for node, r := range c.w.Routers {
+		for port, in := range r.Inputs {
+			for vc := 0; vc < in.VCs(); vc++ {
+				vc := vc
+				stage, outPort, outVC, candidates := in.VCState(vc)
+				var prev *flow.Flit
+				first := true
+				in.ForEachFlit(vc, func(f *flow.Flit) {
+					c.check(f.VC == vc, func() Violation {
+						return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+							Msg: fmt.Sprintf("flit %d of packet %d tagged vc %d sits in vc %d", f.Seq, f.Packet.ID, f.VC, vc)}
+					})
+					if first && stage != router.VCActive {
+						c.check(f.Kind == flow.Head, func() Violation {
+							return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+								Msg: fmt.Sprintf("%v stage fronted by %v flit of packet %d (head consumed early?)", stage, f.Kind, f.Packet.ID)}
+						})
+					}
+					if prev != nil {
+						if prev.Packet == f.Packet {
+							c.check(f.Seq == prev.Seq+1, func() Violation {
+								return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+									Msg: fmt.Sprintf("packet %d flits out of order: %d after %d", f.Packet.ID, f.Seq, prev.Seq)}
+							})
+						} else {
+							c.check(prev.Kind == flow.Tail && f.Kind == flow.Head, func() Violation {
+								return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+									Msg: fmt.Sprintf("packets %d and %d interleaved (%v followed by %v)", prev.Packet.ID, f.Packet.ID, prev.Kind, f.Kind)}
+							})
+						}
+					}
+					prev, first = f, false
+				})
+				switch stage {
+				case router.VCIdle, router.VCWaitingVC:
+					if stage == router.VCWaitingVC {
+						c.check(candidates > 0, func() Violation {
+							return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+								Msg: "waiting for VC allocation with no route candidates"}
+						})
+					}
+				case router.VCActive:
+					legalOut := outPort >= 0 && outPort < len(r.Outputs) && outVC >= 0 && outVC < r.Outputs[outPort].VCs()
+					c.check(legalOut, func() Violation {
+						return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+							Msg: fmt.Sprintf("active VC holds out-of-range output (port %d, vc %d)", outPort, outVC)}
+					})
+					if legalOut {
+						held, hp, hv := r.Outputs[outPort].Held(outVC)
+						c.check(held && hp == port && hv == vc, func() Violation {
+							return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+								Msg: fmt.Sprintf("active VC claims output (port %d, vc %d) but that VC records held=%v by input (port %d, vc %d) — grant without request", outPort, outVC, held, hp, hv)}
+						})
+					}
+				default:
+					c.report(Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+						Msg: fmt.Sprintf("unknown VC stage %d", stage)})
+				}
+			}
+		}
+		for port, out := range r.Outputs {
+			for vc := 0; vc < out.VCs(); vc++ {
+				vc := vc
+				held, hp, hv := out.Held(vc)
+				if !held {
+					continue
+				}
+				legalIn := hp >= 0 && hp < len(r.Inputs) && hv >= 0 && hv < r.Inputs[hp].VCs()
+				c.check(legalIn, func() Violation {
+					return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+						Msg: fmt.Sprintf("output VC held by out-of-range input (port %d, vc %d)", hp, hv)}
+				})
+				if legalIn {
+					stage, op, ov, _ := r.Inputs[hp].VCState(hv)
+					c.check(stage == router.VCActive && op == port && ov == vc, func() Violation {
+						return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: vc,
+							Msg: fmt.Sprintf("output VC held by input (port %d, vc %d) which is %v toward (port %d, vc %d) — stale grant", hp, hv, stage, op, ov)}
+					})
+				}
+			}
+			// The output pipeline drains in readiness order.
+			var lastReady sim.Time
+			for i, e := range out.Tx() {
+				i, e := i, e
+				c.check(i == 0 || e.ReadyAt() >= lastReady, func() Violation {
+					return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: e.Flit().VC,
+						Msg: fmt.Sprintf("output pipeline out of order: entry %d ready at %v before its predecessor at %v", i, e.ReadyAt(), lastReady)}
+				})
+				lastReady = e.ReadyAt()
+			}
+		}
+	}
+}
+
+// scanLinks verifies the DVS protocol's static legality on every link:
+// frequency and voltage pinned to table levels, transitions between
+// adjacent levels only, state machine in a known state, and the energy
+// ledger monotone non-decreasing.
+func (c *Checker) scanLinks(cycle int64, now sim.Time) {
+	for i, l := range c.links {
+		ch := &c.channels[i]
+		t := l.Table()
+		levels := len(t.Volt)
+		lv, tg, fr := l.Level(), l.TargetLevel(), l.TransitionFrom()
+		c.check(lv >= 0 && lv < levels && tg >= 0 && tg < levels, func() Violation {
+			return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+				Msg: fmt.Sprintf("level %d or target %d outside the %d-level table", lv, tg, levels)}
+		})
+		d := tg - lv
+		c.check(d >= -1 && d <= 1, func() Violation {
+			return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+				Msg: fmt.Sprintf("transition %d -> %d skips levels (one step per window allowed)", lv, tg)}
+		})
+		volt := l.Volt()
+		switch st := l.State(); st {
+		case link.Functional:
+			c.check(tg == lv, func() Violation {
+				return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+					Msg: fmt.Sprintf("functional but target %d != level %d", tg, lv)}
+			})
+			c.check(volt == t.Volt[lv], func() Violation {
+				return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+					Msg: fmt.Sprintf("functional at level %d with off-table voltage %.3f V (want %.3f V)", lv, volt, t.Volt[lv])}
+			})
+		case link.VoltRamping, link.FreqLocking:
+			okVolt := volt == t.Volt[lv] || volt == t.Volt[tg] ||
+				(fr >= 0 && fr < levels && volt == t.Volt[fr])
+			c.check(okVolt, func() Violation {
+				return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+					Msg: fmt.Sprintf("%v with voltage %.3f V matching no endpoint of the %d -> %d transition", st, volt, fr, tg)}
+			})
+		default:
+			c.report(Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+				Msg: fmt.Sprintf("unknown link state %d", st)})
+		}
+		e := l.EnergyJ(now)
+		last := c.lastEnergy[i]
+		c.check(!math.IsNaN(e) && (last < 0 || e >= last), func() Violation {
+			return Violation{Rule: "dvs-legality", Cycle: cycle, Node: ch.node, Port: ch.port, VC: -1,
+				Msg: fmt.Sprintf("energy ledger went backwards: %.6g J after %.6g J", e, last)}
+		})
+		c.lastEnergy[i] = e
+	}
+}
+
+func sortedKeys(m map[int64]int) []int64 {
+	ks := make([]int64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,92 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/router"
+)
+
+// watchdog detects deadlock: if no flit anywhere moves (no buffer write,
+// no crossbar traversal) for StallCycles while packets are in flight, the
+// network is wedged and a violation fires carrying a wait-for snapshot.
+// Livelock (endless movement without delivery) is covered by the
+// MaxPacketAge check in scanConservation.
+func (c *Checker) watchdog(cycle int64) {
+	var progress int64
+	for _, r := range c.w.Routers {
+		progress += r.FlitsSwitched
+		for _, in := range r.Inputs {
+			progress += in.Writes
+		}
+	}
+	inFlight := c.w.InFlight()
+	if progress != c.lastProgress || inFlight == 0 {
+		c.lastProgress = progress
+		c.lastProgressCycle = cycle
+		c.watchdogOnce = false
+		return
+	}
+	if cycle-c.lastProgressCycle < c.opts.StallCycles || c.watchdogOnce {
+		return
+	}
+	c.watchdogOnce = true // one report per plateau, not one per scan
+	c.stats.Checks++
+	c.report(Violation{Rule: "deadlock", Cycle: cycle, Node: -1, Port: -1, VC: -1,
+		Msg: fmt.Sprintf("no flit moved for %d cycles with %d packets in flight\n%s",
+			cycle-c.lastProgressCycle, inFlight, c.waitForDump())})
+}
+
+// waitForDump renders every non-idle input VC and what it waits on — the
+// wait-for graph a deadlocked configuration forms — plus the state of the
+// links those waits cross.
+func (c *Checker) waitForDump() string {
+	var b strings.Builder
+	b.WriteString("wait-for snapshot (blocked input VCs):\n")
+	lines := 0
+	const maxLines = 64
+	for node, r := range c.w.Routers {
+		for port, in := range r.Inputs {
+			for vc := 0; vc < in.VCs(); vc++ {
+				stage, outPort, outVC, candidates := in.VCState(vc)
+				occ := in.OccupiedVC(vc)
+				if occ == 0 && stage == router.VCIdle {
+					continue
+				}
+				if lines >= maxLines {
+					b.WriteString("  ... (truncated)\n")
+					return b.String()
+				}
+				lines++
+				var front *flow.Flit
+				in.ForEachFlit(vc, func(f *flow.Flit) {
+					if front == nil {
+						front = f
+					}
+				})
+				fmt.Fprintf(&b, "  router %d port %d vc %d [%v, %d flits", node, port, vc, stage, occ)
+				if front != nil {
+					fmt.Fprintf(&b, ", front: packet %d flit %d -> node %d", front.Packet.ID, front.Seq, front.Packet.Dst)
+				}
+				b.WriteString("]")
+				switch stage {
+				case router.VCWaitingVC:
+					fmt.Fprintf(&b, " waits for a VC grant among %d candidates", candidates)
+				case router.VCActive:
+					out := r.Outputs[outPort]
+					fmt.Fprintf(&b, " waits on output port %d vc %d: %d credits, %d queued",
+						outPort, outVC, out.Credits(outVC), out.QueuedTx())
+					if l := c.w.LinkAt(node, outPort); l != nil {
+						fmt.Fprintf(&b, ", link %v level %d", l.State(), l.Level())
+					}
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	if lines == 0 {
+		b.WriteString("  (no blocked VCs — packets are stuck in source queues)\n")
+	}
+	return b.String()
+}

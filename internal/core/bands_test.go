@@ -1,0 +1,164 @@
+package core
+
+import "testing"
+
+// The tests in this file pin Algorithm 1's threshold-band behavior with
+// exactly representable binary fractions, so "equal to the threshold" is a
+// real float64 equality, not an accident of rounding. With W = 1 the
+// predictor is pred = (measure + past) / 2 and past starts at 0, so a
+// measure sequence like [1.0, 1.0] walks the prediction through 0.5 then
+// 0.75 — both exact.
+func edgeParams() Params {
+	return Params{
+		W:          1,
+		H:          200,
+		BCongested: 0.5,
+		TLLow:      0.25,
+		TLHigh:     0.5,
+		THLow:      0.5,
+		THHigh:     0.75,
+	}
+}
+
+// TestThresholdBandTable drives a fresh policy through a measure sequence
+// per row and checks the decision at every window: band membership, band
+// selection by the congestion litmus, and behavior exactly on each edge.
+func TestThresholdBandTable(t *testing.T) {
+	cases := []struct {
+		name string
+		lu   []float64 // link utilization per window
+		bu   []float64 // buffer utilization per window
+		want []Decision
+	}{
+		// --- light band [0.25, 0.5): bu stays 0 ---
+		{
+			name: "idle link lowers",
+			lu:   []float64{0}, bu: []float64{0},
+			want: []Decision{Lower},
+		},
+		{
+			name: "mid-band holds",
+			lu:   []float64{0.75}, bu: []float64{0}, // pred 0.375
+			want: []Decision{Hold},
+		},
+		{
+			name: "sustained saturation raises",
+			lu:   []float64{1, 1}, bu: []float64{0, 0}, // pred 0.5, then 0.75
+			want: []Decision{Hold, Raise},
+		},
+		// --- exact edges: equality means Hold, the hysteresis guard ---
+		{
+			name: "prediction exactly at TLLow holds, not lowers",
+			lu:   []float64{0.5}, bu: []float64{0}, // pred 0.25 == TLLow
+			want: []Decision{Hold},
+		},
+		{
+			name: "prediction exactly at TLHigh holds, not raises",
+			lu:   []float64{1}, bu: []float64{0}, // pred 0.5 == TLHigh
+			want: []Decision{Hold},
+		},
+		{
+			name: "prediction exactly at THHigh holds in congested band",
+			lu:   []float64{1, 1}, bu: []float64{1, 1}, // pred 0.5 then 0.75 == THHigh
+			want: []Decision{Hold, Hold},
+		},
+		{
+			name: "sitting on an edge never oscillates",
+			lu:   []float64{0.5, 0.25, 0.25, 0.25}, bu: []float64{0, 0, 0, 0}, // pred pinned at 0.25
+			want: []Decision{Hold, Hold, Hold, Hold},
+		},
+		// --- band selection by the congestion litmus ---
+		{
+			name: "light load picks the light band",
+			lu:   []float64{0.8}, bu: []float64{0}, // luPred 0.4 in [0.25,0.5)
+			want: []Decision{Hold},
+		},
+		{
+			name: "same link utilization under congestion lowers instead",
+			lu:   []float64{0.8}, bu: []float64{1}, // buPred 0.5 >= BCongested; 0.4 < THLow
+			want: []Decision{Lower},
+		},
+		{
+			name: "buPred exactly at BCongested selects the congested band",
+			lu:   []float64{0.8}, bu: []float64{1}, // buPred (1+0)/2 == 0.5 exactly
+			want: []Decision{Lower},
+		},
+		{
+			name: "buPred just below BCongested keeps the light band",
+			lu:   []float64{0.8}, bu: []float64{0.5}, // buPred 0.25 < 0.5
+			want: []Decision{Hold},
+		},
+		{
+			name: "congested band still raises past THHigh",
+			lu:   []float64{1, 1, 1}, bu: []float64{1, 1, 1}, // luPred 0.5, 0.75, 0.875
+			want: []Decision{Hold, Hold, Raise},
+		},
+		{
+			name: "congestion clearing falls back to the light band",
+			// Window 1 congests (buPred 0.5); windows 2-3 drain the litmus
+			// (buPred 0.25, 0.125) so luPred 0.4-ish reads as in-band again.
+			lu: []float64{0.8, 0.4, 0.4}, bu: []float64{1, 0, 0},
+			want: []Decision{Lower, Hold, Hold},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.lu) != len(tc.bu) || len(tc.lu) != len(tc.want) {
+				t.Fatalf("malformed row: %d lu, %d bu, %d want", len(tc.lu), len(tc.bu), len(tc.want))
+			}
+			h, err := NewHistoryDVS(edgeParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.lu {
+				got := h.Decide(Measures{LinkUtil: tc.lu[i], BufUtil: tc.bu[i]})
+				if got != tc.want[i] {
+					lu, bu := h.Predicted()
+					t.Fatalf("window %d: Decide(lu=%g, bu=%g) = %v, want %v (luPred=%g, buPred=%g)",
+						i, tc.lu[i], tc.bu[i], got, tc.want[i], lu, bu)
+				}
+			}
+		})
+	}
+}
+
+// TestBandEdgeEquality nails the comparison directions themselves: the
+// utilization band is closed ([tLow, tHigh] holds) while the congestion
+// litmus is half-open (buPred >= BCongested congests). A nudge one ulp past
+// an edge flips the decision; landing exactly on it does not. Every edge
+// value here is a sum of powers of two, so the arithmetic is exact.
+func TestBandEdgeEquality(t *testing.T) {
+	const ulp = 1.0 / (1 << 30) // far above float64 noise, far below any band width
+	cases := []struct {
+		name string
+		lu   []float64
+		bu   []float64
+		want Decision // decision at the final window
+	}{
+		{"at TLLow", []float64{0.5}, []float64{0}, Hold},
+		{"one ulp below TLLow", []float64{0.5 - ulp}, []float64{0}, Lower},
+		{"at TLHigh", []float64{1}, []float64{0}, Hold},
+		// A single window cannot push the prediction past TLHigh (lu <= 1
+		// gives pred <= 0.5), so approach from a warmed-up history.
+		{"at TLHigh from history", []float64{1, 0.5}, []float64{0, 0}, Hold},
+		{"one ulp above TLHigh", []float64{1, 0.5 + ulp}, []float64{0, 0}, Raise},
+		{"at BCongested", []float64{0.8}, []float64{1}, Lower}, // congested: luPred 0.4 < THLow
+		{"one ulp below BCongested", []float64{0.8}, []float64{1 - ulp}, Hold},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewHistoryDVS(edgeParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Decision
+			for i := range tc.lu {
+				got = h.Decide(Measures{LinkUtil: tc.lu[i], BufUtil: tc.bu[i]})
+			}
+			if got != tc.want {
+				lu, bu := h.Predicted()
+				t.Fatalf("final Decide = %v, want %v (luPred=%v, buPred=%v)", got, tc.want, lu, bu)
+			}
+		})
+	}
+}

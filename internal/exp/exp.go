@@ -26,6 +26,10 @@ type Options struct {
 	Quick, Full bool
 	// Seed selects the deterministic random stream family.
 	Seed uint64
+	// Audit runs every simulation under the runtime invariant checker
+	// (internal/audit), which panics on the first violation. Results are
+	// identical with or without it; only speed differs.
+	Audit bool
 }
 
 // tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
@@ -223,6 +227,7 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 		cfg.Router.Ports = 1 + 2*s.n
 	}
 	cfg.Torus = s.torus
+	cfg.Audit.Enabled = o.Audit
 	n, err := network.New(cfg)
 	if err != nil {
 		panic(err)
@@ -246,7 +251,7 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 // same point share one simulation, and a worker-pool slot bounds how many
 // simulations execute at once.
 func run(s spec, o Options) network.Results {
-	key := fmt.Sprintf("%v|%v|%v|%+v", o.Quick, o.Full, o.Seed, s)
+	key := fmt.Sprintf("%v|%v|%v|%v|%+v", o.Quick, o.Full, o.Audit, o.Seed, s)
 	return runCache.do(key, func() (r network.Results) {
 		withSimSlot(func() {
 			warm, meas := o.budget()

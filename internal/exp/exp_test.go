@@ -12,6 +12,16 @@ import (
 // quick is the smoke budget shared by every experiment test here.
 var quick = Options{Quick: true}
 
+// skipSims gates the tests that run real quick-budget simulations (tens of
+// seconds each on one core); `go test -short` keeps only the structural
+// checks and the tinyBudget-based parallelism tests.
+func skipSims(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("quick-budget simulation: skipped in -short")
+	}
+}
+
 func cell(t *testing.T, tab Table, row, col int) float64 {
 	t.Helper()
 	s := strings.TrimSuffix(tab.Rows[row][col], "X")
@@ -69,6 +79,7 @@ func TestStaticTables(t *testing.T) {
 // steadily with load while BU and BA stay near zero until congestion and
 // then jump — the property that makes BU a congestion litmus.
 func TestFig3To5Shapes(t *testing.T) {
+	skipSims(t)
 	ms := measures(quick)
 	last := len(measureRates) - 1
 
@@ -104,6 +115,7 @@ func TestFig3To5Shapes(t *testing.T) {
 // TestFig10Shape checks the headline figure: multi-X savings, bounded
 // throughput loss, latency ordering.
 func TestFig10Shape(t *testing.T) {
+	skipSims(t)
 	tabs, err := Run("fig10", quick)
 	if err != nil || len(tabs) != 2 {
 		t.Fatalf("fig10: %v (%d tables)", err, len(tabs))
@@ -142,6 +154,7 @@ func TestFig10Shape(t *testing.T) {
 
 // TestFig12Shape: power rises with throughput into congestion.
 func TestFig12Shape(t *testing.T) {
+	skipSims(t)
 	tabs, err := Run("fig12", quick)
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +181,7 @@ func TestFig12Shape(t *testing.T) {
 
 // TestFig15Pareto: threshold aggressiveness buys power with latency.
 func TestFig15Pareto(t *testing.T) {
+	skipSims(t)
 	tabs, err := Run("fig15", quick)
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +199,7 @@ func TestFig15Pareto(t *testing.T) {
 
 // TestHeadlineTable: the abstract-comparison table carries all four rows.
 func TestHeadlineTable(t *testing.T) {
+	skipSims(t)
 	tabs, err := Run("headline", quick)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +215,7 @@ func TestHeadlineTable(t *testing.T) {
 
 // TestPointAPI: the programmatic access point matches the cache.
 func TestPointAPI(t *testing.T) {
+	skipSims(t)
 	a := Point(1.0, network.PolicyHistory, quick)
 	b := Point(1.0, network.PolicyHistory, quick)
 	if a != b {
@@ -213,6 +229,7 @@ func TestPointAPI(t *testing.T) {
 // TestAblationLitmus: without the BU litmus, congested-network power is
 // higher (the policy keeps pushing stalled links fast).
 func TestAblationLitmus(t *testing.T) {
+	skipSims(t)
 	tabs, err := Run("abl-litmus", quick)
 	if err != nil {
 		t.Fatal(err)

@@ -100,6 +100,16 @@ func (l *DVSLink) TargetLevel() int { return l.target }
 // State reports the link's operating condition.
 func (l *DVSLink) State() State { return l.state }
 
+// Volt reports the present supply voltage. During a transition it tracks
+// the regulator conservatively (the voltage of whichever endpoint level is
+// higher while the frequency change is in flight).
+func (l *DVSLink) Volt() float64 { return l.volt }
+
+// TransitionFrom reports the level the in-flight transition started from;
+// stale once the link returns to Functional. Exposed for the runtime
+// invariant audit (internal/audit).
+func (l *DVSLink) TransitionFrom() int { return l.from }
+
 // Transitioning reports whether a level change is in flight.
 func (l *DVSLink) Transitioning() bool { return l.state != Functional }
 

@@ -1,0 +1,105 @@
+package link
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// transitionSpan is how long a one-level transition takes: the 10 us
+// voltage ramp plus 100 cycles of the target clock, in either order
+// depending on direction.
+func transitionSpan(tab *Table, target int) sim.Time {
+	return 10*sim.Microsecond + 100*tab.Period[target]
+}
+
+// TestOneLevelPerWindow sweeps every (level, direction) pair and checks the
+// per-window stepping contract the DVS policy relies on: a legal request is
+// accepted, any further request is refused until the transition completes,
+// and completion lands exactly one level away — never two, no matter how
+// often the policy asks.
+func TestOneLevelPerWindow(t *testing.T) {
+	tab := paperTable(t)
+	for lvl := 0; lvl <= tab.Top(); lvl++ {
+		for _, up := range []bool{true, false} {
+			dir := "down"
+			if up {
+				dir = "up"
+			}
+			t.Run(fmt.Sprintf("level%d_%s", lvl, dir), func(t *testing.T) {
+				var sched sim.Scheduler
+				l := NewDVSLink(tab, &sched, lvl)
+				legal := (up && lvl < tab.Top()) || (!up && lvl > 0)
+				if got := l.RequestStep(0, up); got != legal {
+					t.Fatalf("RequestStep(%s) from level %d = %v, want %v", dir, lvl, got, legal)
+				}
+				if !legal {
+					if l.State() != Functional || l.Level() != lvl {
+						t.Fatalf("refused request disturbed the link: state=%v level=%d", l.State(), l.Level())
+					}
+					return
+				}
+				target := lvl + 1
+				if !up {
+					target = lvl - 1
+				}
+				// While the transition is in flight, both directions refuse.
+				if l.RequestStep(0, true) || l.RequestStep(0, false) {
+					t.Fatal("second step accepted mid-transition")
+				}
+				sched.RunUntil(transitionSpan(tab, target) + 1)
+				if l.State() != Functional {
+					t.Fatalf("transition not complete after its span: state=%v", l.State())
+				}
+				if l.Level() != target {
+					t.Fatalf("level = %d after one window, want exactly %d (one step)", l.Level(), target)
+				}
+				// A fresh window may step again (if still in range).
+				now := sched.Now()
+				if wantNext := (up && target < tab.Top()) || (!up && target > 0); l.RequestStep(now, up) != wantNext {
+					t.Fatalf("post-transition RequestStep(%s) from level %d != %v", dir, target, wantNext)
+				}
+			})
+		}
+	}
+}
+
+// TestFullRangeWalkIsStepwise climbs from the bottom level to the top and
+// back down, one window at a time, asserting the link visits every
+// intermediate level in order: n levels of headroom always cost n windows.
+func TestFullRangeWalkIsStepwise(t *testing.T) {
+	tab := paperTable(t)
+	var sched sim.Scheduler
+	l := NewDVSLink(tab, &sched, 0)
+
+	for _, up := range []bool{true, false} {
+		span := tab.Top() // number of single-level windows to cross the range
+		for i := 0; i < span; i++ {
+			from := l.Level()
+			want := from + 1
+			if !up {
+				want = from - 1
+			}
+			if !l.RequestStep(sched.Now(), up) {
+				t.Fatalf("step %d (up=%v) refused at level %d", i, up, from)
+			}
+			sched.RunUntil(sched.Now() + transitionSpan(tab, want) + 1)
+			if l.Level() != want || l.State() != Functional {
+				t.Fatalf("step %d (up=%v): level=%d state=%v, want functional level %d",
+					i, up, l.Level(), l.State(), want)
+			}
+		}
+		edge := tab.Top()
+		if !up {
+			edge = 0
+		}
+		if l.Level() != edge {
+			t.Fatalf("walk (up=%v) ended at level %d, want %d", up, l.Level(), edge)
+		}
+		// At the range edge the same direction refuses.
+		if l.RequestStep(sched.Now(), up) {
+			t.Fatalf("step past the range edge accepted at level %d", l.Level())
+		}
+	}
+}

@@ -9,6 +9,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/link"
@@ -78,6 +79,12 @@ type Config struct {
 
 	// Seed feeds the traffic model when one is attached via Run.
 	Seed uint64
+
+	// Audit configures the runtime invariant checker (internal/audit).
+	// Disabled by default; when Audit.Enabled, the platform verifies flit
+	// and credit conservation, VC state-machine legality, DVS link
+	// legality and deadlock freedom as it runs.
+	Audit audit.Options
 }
 
 // NewConfig returns the paper's experimental platform: 8x8 mesh, 1 GHz
@@ -208,6 +215,23 @@ type Network struct {
 	// ring buffers short-delay flit arrivals and credit returns per due
 	// cycle, replacing per-message scheduler events on the hot path.
 	ring [ringSize]ringBucket
+
+	// aud, when non-nil, is the runtime invariant checker; every hook site
+	// nil-checks it so the disabled cost is one pointer compare.
+	aud *audit.Checker
+	// audSlow mirrors messages that fell back to the scheduler (due beyond
+	// the ring span) so conservation scans can still see them. Always
+	// empty when auditing is off.
+	audSlow []slowMsg
+}
+
+// slowMsg is one scheduler-fallback message tracked for the audit: a flit
+// arrival when in != nil, otherwise a credit return.
+type slowMsg struct {
+	in   *router.InputPort
+	flit *flow.Flit
+	out  *router.OutputPort
+	vc   int
 }
 
 // New builds the platform.
@@ -288,7 +312,58 @@ func New(cfg Config) (*Network, error) {
 
 	n.Lat = stats.NewLatency(cfg.RouterPeriod)
 	n.Meter = power.NewMeter(table, all, 0)
+
+	if cfg.Audit.Enabled {
+		n.aud = audit.New(cfg.Audit, audit.Wiring{
+			Topo:        topo,
+			Routers:     n.Routers,
+			LinkAt:      func(node, port int) *link.DVSLink { return n.linkAt[node][port] },
+			InFlight:    func() int64 { return n.InFlight },
+			WalkTransit: n.walkTransit,
+		})
+	}
 	return n, nil
+}
+
+// Auditor reports the runtime invariant checker, or nil when disabled.
+func (n *Network) Auditor() *audit.Checker { return n.aud }
+
+// walkTransit shows the audit everything in flight outside router state:
+// ring-buffered arrivals and credits, scheduler-fallback messages, and
+// partially injected packets at sources. Queued whole packets have no
+// flits yet and are tracked by the audit's own ledger.
+func (n *Network) walkTransit(v audit.TransitVisitor) {
+	for i := range n.ring {
+		b := &n.ring[i]
+		for _, a := range b.arrivals {
+			v.Flit(a.in, a.flit)
+		}
+		for _, cm := range b.credits {
+			v.Credit(cm.out, cm.vc)
+		}
+	}
+	for _, s := range n.audSlow {
+		if s.in != nil {
+			v.Flit(s.in, s.flit)
+		} else {
+			v.Credit(s.out, s.vc)
+		}
+	}
+	for node, inj := range n.injectors {
+		for _, f := range inj.current {
+			v.SourceFlit(node, f)
+		}
+	}
+}
+
+// audSlowDrop removes one tracked scheduler-fallback message.
+func (n *Network) audSlowDrop(m slowMsg) {
+	for i := range n.audSlow {
+		if n.audSlow[i] == m {
+			n.audSlow = append(n.audSlow[:i], n.audSlow[i+1:]...)
+			return
+		}
+	}
 }
 
 // newPolicy builds one per-port policy instance.
@@ -342,6 +417,9 @@ func (n *Network) Inject(src, dst int, now sim.Time, task int64) {
 	n.injectors[src].queue = append(n.injectors[src].queue, p)
 	n.injected++
 	n.InFlight++
+	if n.aud != nil {
+		n.aud.OnInject(p, n.cycle)
+	}
 	n.Trace.Log(trace.Event{At: now, Kind: trace.PacketInjected, ID: p.ID, A: src, B: dst})
 }
 
@@ -371,6 +449,9 @@ func (n *Network) Step() {
 	if n.Probe != nil && n.ProbeEvery > 0 && n.cycle%n.ProbeEvery == 0 {
 		n.Probe(now)
 	}
+	if n.aud != nil {
+		n.aud.EndCycle(n.cycle, now)
+	}
 }
 
 // Run advances the given number of router cycles.
@@ -393,7 +474,16 @@ func (n *Network) dueCycle(at sim.Time) int64 {
 func (n *Network) enqueueArrival(in *router.InputPort, f *flow.Flit, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
-		n.Sched.At(at, func() { in.Arrive(f, n.Sched.Now()) })
+		if n.aud == nil {
+			n.Sched.At(at, func() { in.Arrive(f, n.Sched.Now()) })
+		} else {
+			m := slowMsg{in: in, flit: f}
+			n.audSlow = append(n.audSlow, m)
+			n.Sched.At(at, func() {
+				n.audSlowDrop(m)
+				in.Arrive(f, n.Sched.Now())
+			})
+		}
 		return
 	}
 	b := &n.ring[due%ringSize]
@@ -404,7 +494,16 @@ func (n *Network) enqueueArrival(in *router.InputPort, f *flow.Flit, at sim.Time
 func (n *Network) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
-		n.Sched.At(at, func() { out.ReturnCredit(vc, n.Sched.Now()) })
+		if n.aud == nil {
+			n.Sched.At(at, func() { out.ReturnCredit(vc, n.Sched.Now()) })
+		} else {
+			m := slowMsg{out: out, vc: vc}
+			n.audSlow = append(n.audSlow, m)
+			n.Sched.At(at, func() {
+				n.audSlowDrop(m)
+				out.ReturnCredit(vc, n.Sched.Now())
+			})
+		}
 		return
 	}
 	b := &n.ring[due%ringSize]
@@ -450,6 +549,9 @@ func (n *Network) injectFlits(now sim.Time) {
 			p.Injected = now
 			inj.current = flow.NewPacketFlits(p)
 			inj.vc = best
+			if n.aud != nil {
+				n.aud.OnSourceDequeue(p, n.cycle)
+			}
 		}
 		if in.Free(inj.vc) < 1 {
 			continue
@@ -477,6 +579,9 @@ func (n *Network) transmit(now sim.Time) {
 			}
 			out.PopTx()
 			f := front.Flit()
+			if n.aud != nil {
+				n.aud.OnLinkSend(node, port, l, f, now, n.cycle)
+			}
 			d := l.Send(now)
 
 			dim, dir := n.Topo.DimDir(port)
@@ -508,6 +613,9 @@ func (n *Network) eject(now sim.Time) {
 		for len(out.Tx()) > 0 && out.Tx()[0].ReadyAt() <= now {
 			e := out.PopTx()
 			f := e.Flit()
+			if n.aud != nil {
+				n.aud.OnEject(f, r.ID, n.cycle)
+			}
 			if f.Kind != flow.Tail {
 				continue
 			}
@@ -519,6 +627,9 @@ func (n *Network) eject(now sim.Time) {
 			if p.Created >= n.measStart {
 				n.Lat.Add(p.Latency())
 				n.delivered++
+			}
+			if n.aud != nil {
+				n.aud.OnDeliver(p, n.cycle)
 			}
 			if n.OnDeliver != nil {
 				n.OnDeliver(p)

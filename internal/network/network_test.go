@@ -123,6 +123,9 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestDVSIdleNetworkDropsToBottom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1.2 ms simulated idle time: skipped in -short")
+	}
 	n := mustNew(t, smallConfig(PolicyHistory))
 	// No traffic at all: every link should walk down to level 0. Each
 	// downward step takes a freq lock + 10 us voltage ramp, and decisions
@@ -143,6 +146,9 @@ func TestDVSIdleNetworkDropsToBottom(t *testing.T) {
 }
 
 func TestDVSHeavyLoadKeepsLinksFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("400k-cycle saturation run: skipped in -short")
+	}
 	n := mustNew(t, smallConfig(PolicyHistory))
 	// Saturating uniform traffic: hot links must stay at high levels.
 	u := &traffic.Uniform{
@@ -163,6 +169,9 @@ func TestDVSHeavyLoadKeepsLinksFast(t *testing.T) {
 }
 
 func TestDVSTradesLatencyForPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 250k-cycle measured runs: skipped in -short")
+	}
 	// The paper's core result in miniature: under the two-level bursty
 	// workload at a moderate load, history-based DVS saves several-fold
 	// power while throughput stays essentially intact and latency pays a

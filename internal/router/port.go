@@ -225,3 +225,75 @@ func (p *OutputPort) PopTx() TxEntry {
 	p.tx = p.tx[1:]
 	return e
 }
+
+// VCStage is the externally visible pipeline stage of an input VC's front
+// packet, exposed for the runtime invariant audit (internal/audit).
+type VCStage uint8
+
+const (
+	VCIdle      = VCStage(vcIdle)      // no packet being routed
+	VCWaitingVC = VCStage(vcWaitingVC) // route computed, awaiting VC allocation
+	VCActive    = VCStage(vcActive)    // output VC held; flits stream through SA
+)
+
+func (s VCStage) String() string {
+	switch s {
+	case VCIdle:
+		return "idle"
+	case VCWaitingVC:
+		return "waiting-vc"
+	case VCActive:
+		return "active"
+	}
+	return "invalid"
+}
+
+// The accessors below are read-only views for the invariant audit's
+// structural scans; simulation code must not depend on them.
+
+// VCs reports the number of virtual channels on the port.
+func (p *InputPort) VCs() int { return len(p.vcs) }
+
+// BufPerVC reports the per-VC buffer capacity.
+func (p *InputPort) BufPerVC() int { return p.bufPerVC }
+
+// OccupiedVC reports the buffered flit count of one VC.
+func (p *InputPort) OccupiedVC(vc int) int { return len(p.vcs[vc].buf) }
+
+// VCState reports the allocation state of one input VC: its pipeline
+// stage, the output (port, VC) it holds when active, and how many route
+// candidates it carries.
+func (p *InputPort) VCState(vc int) (stage VCStage, outPort, outVC, candidates int) {
+	v := p.vcs[vc]
+	return VCStage(v.stage), v.outPort, v.outVC, len(v.candidates)
+}
+
+// ForEachFlit walks the buffered flits of one VC front to back.
+func (p *InputPort) ForEachFlit(vc int, fn func(f *flow.Flit)) {
+	for i := range p.vcs[vc].buf {
+		fn(p.vcs[vc].buf[i].flit)
+	}
+}
+
+// VCs reports the number of virtual channels on the port.
+func (p *OutputPort) VCs() int { return len(p.vcs) }
+
+// Credits reports the downstream credit count of one VC.
+func (p *OutputPort) Credits(vc int) int { return p.vcs[vc].credits }
+
+// Held reports whether one output VC is owned by a packet and, if so, the
+// input (port, VC) streaming through it.
+func (p *OutputPort) Held(vc int) (held bool, inPort, inVC int) {
+	s := p.vcs[vc]
+	return s.held, s.inPort, s.inVC
+}
+
+// InfiniteCredits reports whether the port models an always-accepting sink
+// (the ejection port).
+func (p *OutputPort) InfiniteCredits() bool { return p.infiniteCredits }
+
+// DropCreditForTest silently discards one downstream credit on vc — a
+// deliberate flow-control fault used to prove the audit's credit
+// conservation scan catches real protocol corruption. Never called by
+// simulation code.
+func (p *OutputPort) DropCreditForTest(vc int) { p.vcs[vc].credits-- }

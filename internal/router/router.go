@@ -74,6 +74,12 @@ type Router struct {
 	scWants   [][]int
 	scVAReq   []bool
 
+	// Asserts enables in-pipeline legality checks (no grant without
+	// request, no traversal without a downstream credit). Set by the
+	// runtime invariant audit; off in normal runs so the hot loop stays
+	// branch-cheap.
+	Asserts bool
+
 	// Counters for instrumentation and the router energy model.
 	FlitsSwitched int64
 	// Activity tallies every energy-bearing micro-event: buffer writes
@@ -161,6 +167,9 @@ func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
 			continue
 		}
 		nominee[i] = r.inputArb[i].pick(requests)
+		if r.Asserts && nominee[i] >= 0 && !requests[nominee[i]] {
+			panic(fmt.Sprintf("router %d: SA input arbiter granted port %d vc %d without a request", r.ID, i, nominee[i]))
+		}
 		r.Activity.ArbGrants++
 		anyNominee = true
 	}
@@ -183,6 +192,9 @@ func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
 		if winner < 0 {
 			continue
 		}
+		if r.Asserts && !outReq[winner] {
+			panic(fmt.Sprintf("router %d: SA output arbiter granted port %d to input %d without a request", r.ID, p, winner))
+		}
 		r.Activity.ArbGrants++
 		r.traverse(winner, nominee[winner], now, period)
 	}
@@ -193,6 +205,10 @@ func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
 	in := r.Inputs[i]
 	vc := in.vcs[v]
 	out := r.Outputs[vc.outPort]
+
+	if r.Asserts && !out.hasCredit(vc.outVC) {
+		panic(fmt.Sprintf("router %d: traversal to port %d vc %d without a downstream credit", r.ID, vc.outPort, vc.outVC))
+	}
 
 	e := vc.pop()
 	f := e.flit
@@ -265,6 +281,9 @@ func (r *Router) vcAllocation() {
 		g := r.vaArb[key].pick(reqs)
 		if g < 0 {
 			continue
+		}
+		if r.Asserts && !reqs[g] {
+			panic(fmt.Sprintf("router %d: VA arbiter granted output vc %d to input vc %d without a request", r.ID, key, g))
 		}
 		r.Activity.ArbGrants++
 		i, v := g/cfg.VCs, g%cfg.VCs

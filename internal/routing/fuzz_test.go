@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// FuzzRoute drives both routing algorithms across random k-ary n-cubes and
+// random (src, dst) pairs, walking a full route and asserting the
+// properties the simulator's correctness rests on: every candidate is an
+// in-bounds physical port with a non-empty in-range VC set, every hop is
+// minimal (distance to the destination strictly decreases), and the walk
+// reaches the destination in exactly HopDistance hops.
+func FuzzRoute(f *testing.F) {
+	f.Add(8, 2, false, false, 0, 63, 0) // paper mesh, corner to corner, dor
+	f.Add(8, 2, false, true, 7, 56, 1)  // adaptive across both dimensions
+	f.Add(4, 2, true, false, 0, 10, 2)  // torus with dateline crossings
+	f.Add(5, 3, true, false, 124, 0, 3) // odd-k 3-cube torus
+	f.Add(2, 1, false, false, 0, 1, 0)  // smallest ring segment
+	f.Fuzz(func(t *testing.T, k, n int, torus, adaptive bool, src, dst, pick int) {
+		k = 2 + abs(k)%8 // 2..9
+		n = 1 + abs(n)%3 // 1..3
+		if adaptive && torus {
+			torus = false // MinimalAdaptive rejects tori by design
+		}
+		topo := topology.New(k, n, torus)
+		src = abs(src) % topo.Nodes()
+		dst = abs(dst) % topo.Nodes()
+		var algo Algorithm = DimensionOrder{}
+		if adaptive {
+			algo = MinimalAdaptive{}
+		}
+		const numVCs = 2
+
+		cur, st := src, NewState()
+		for hops := 0; cur != dst; hops++ {
+			dist := topo.HopDistance(cur, dst)
+			if hops >= topo.MaxDistance()*topo.N() {
+				t.Fatalf("%s: walk from %d to %d has not terminated after %d hops", algo.Name(), src, dst, hops)
+			}
+			cands := algo.Route(topo, cur, dst, numVCs, st)
+			if len(cands) == 0 {
+				t.Fatalf("%s: no candidates at %d for dst %d", algo.Name(), cur, dst)
+			}
+			for _, c := range cands {
+				if c.Port <= topology.LocalPort || c.Port >= topo.Ports() {
+					t.Fatalf("%s: out-of-bounds port %d at %d (dst %d)", algo.Name(), c.Port, cur, dst)
+				}
+				if len(c.VCs) == 0 {
+					t.Fatalf("%s: empty VC set on port %d at %d", algo.Name(), c.Port, cur)
+				}
+				for _, vc := range c.VCs {
+					if vc < 0 || vc >= numVCs {
+						t.Fatalf("%s: VC %d outside [0,%d) on port %d", algo.Name(), vc, numVCs, c.Port)
+					}
+				}
+				dim, dir := topo.DimDir(c.Port)
+				nb, ok := topo.Neighbor(cur, dim, dir)
+				if !ok {
+					t.Fatalf("%s: candidate port %d leads off the mesh edge at %d", algo.Name(), c.Port, cur)
+				}
+				if got := topo.HopDistance(nb, dst); got != dist-1 {
+					t.Fatalf("%s: non-minimal hop %d -> %d (distance %d -> %d, dst %d)",
+						algo.Name(), cur, nb, dist, got, dst)
+				}
+			}
+			// Take one admissible hop, input-steered so the fuzzer explores
+			// different adaptive paths, and advance dateline state exactly as
+			// the network layer does.
+			c := cands[abs(pick+hops)%len(cands)]
+			dim, dir := topo.DimDir(c.Port)
+			nb, _ := topo.Neighbor(cur, dim, dir)
+			cx := topo.Coord(cur, dim)
+			wrap := topo.Torus() &&
+				((dir == topology.Plus && cx == topo.K()-1) ||
+					(dir == topology.Minus && cx == 0))
+			st = st.Advance(dim, wrap)
+			cur = nb
+		}
+		// At the destination both algorithms must offer the ejection port.
+		cands := algo.Route(topo, dst, dst, numVCs, st)
+		if len(cands) != 1 || cands[0].Port != topology.LocalPort {
+			t.Fatalf("%s: at destination, candidates = %v, want only the local port", algo.Name(), cands)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+package topology
+
+import "testing"
+
+// FuzzTopologyCoords checks the coordinate system of arbitrary k-ary
+// n-cubes: node index <-> coordinate round trips, port <-> (dim, dir)
+// round trips, and neighbor symmetry (going out and back lands home, and
+// a neighbor is always exactly one hop away).
+func FuzzTopologyCoords(f *testing.F) {
+	f.Add(8, 2, false, 13) // the paper's mesh
+	f.Add(4, 2, true, 15)  // torus wraparound
+	f.Add(2, 4, false, 9)  // hypercube-shaped corner case
+	f.Add(10, 1, true, 0)  // ring
+	f.Fuzz(func(t *testing.T, k, n int, torus bool, node int) {
+		k = 2 + abs(k)%9 // 2..10
+		n = 1 + abs(n)%4 // 1..4
+		c := New(k, n, torus)
+		node = abs(node) % c.Nodes()
+
+		coords := c.Coords(node)
+		if len(coords) != n {
+			t.Fatalf("Coords(%d) has %d dims, want %d", node, len(coords), n)
+		}
+		for d, x := range coords {
+			if x < 0 || x >= k {
+				t.Fatalf("coordinate %d of node %d is %d, outside [0,%d)", d, node, x, k)
+			}
+			if got := c.Coord(node, d); got != x {
+				t.Fatalf("Coord(%d,%d) = %d but Coords gives %d", node, d, got, x)
+			}
+		}
+		if got := c.NodeAt(coords...); got != node {
+			t.Fatalf("NodeAt(Coords(%d)) = %d: round trip broken", node, got)
+		}
+
+		for port := LocalPort + 1; port < c.Ports(); port++ {
+			dim, dir := c.DimDir(port)
+			if got := c.PortFor(dim, dir); got != port {
+				t.Fatalf("PortFor(DimDir(%d)) = %d: port round trip broken", port, got)
+			}
+			nb, ok := c.Neighbor(node, dim, dir)
+			if !ok {
+				if torus {
+					t.Fatalf("torus node %d has no neighbor via port %d", node, port)
+				}
+				continue
+			}
+			if nb < 0 || nb >= c.Nodes() {
+				t.Fatalf("neighbor %d of node %d out of range", nb, node)
+			}
+			if d := c.HopDistance(node, nb); d != 1 {
+				t.Fatalf("neighbor %d of node %d is %d hops away", nb, node, d)
+			}
+			opp := Plus
+			if dir == Plus {
+				opp = Minus
+			}
+			back, ok := c.Neighbor(nb, dim, opp)
+			if !ok || back != node {
+				t.Fatalf("neighbor relation not symmetric: %d -(d%d,%v)-> %d -(d%d,%v)-> %d,%v",
+					node, dim, dir, nb, dim, opp, back, ok)
+			}
+		}
+
+		if d := c.HopDistance(node, node); d != 0 {
+			t.Fatalf("HopDistance(%d,%d) = %d, want 0", node, node, d)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}

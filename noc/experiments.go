@@ -15,6 +15,9 @@ type ExperimentOptions struct {
 	Quick, Full bool
 	// Seed selects the deterministic random stream family (0 means 1).
 	Seed uint64
+	// Audit runs every simulation under the runtime invariant checker;
+	// the first violation panics. Output is identical either way.
+	Audit bool
 }
 
 // Experiments lists the regenerable paper artifacts ("fig3" .. "fig17",
@@ -24,7 +27,7 @@ func Experiments() []string { return exp.List() }
 // RunExperiment regenerates one paper table or figure and prints its text
 // tables to w.
 func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
 	if err != nil {
 		return err
 	}
@@ -36,7 +39,7 @@ func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
 
 // RunExperimentCSV is RunExperiment with CSV output for plotting tools.
 func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
 	if err != nil {
 		return err
 	}
@@ -57,7 +60,7 @@ func SetExperimentParallelism(j int) { exp.SetParallelism(j) }
 // SetExperimentParallelism) and returns each one's rendered output in
 // input order. Points shared between experiments simulate once.
 func RunExperiments(ids []string, o ExperimentOptions, csv bool) ([]string, error) {
-	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed})
+	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
 	if err != nil {
 		return nil, err
 	}

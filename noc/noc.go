@@ -65,6 +65,13 @@ type Config struct {
 
 	// Seed selects the deterministic random stream family.
 	Seed uint64
+
+	// Audit enables the runtime invariant checker: flit and credit
+	// conservation, VC state-machine legality, DVS link legality and a
+	// deadlock watchdog, verified continuously as the simulation runs.
+	// The first violation panics. Results are identical with or without
+	// it; only speed differs.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's experimental platform: an 8x8 mesh of
@@ -112,6 +119,7 @@ func (c Config) lower() (network.Config, error) {
 	cfg.Link.VoltTransition = sim.Time(c.VoltTransition.Nanoseconds()) * sim.Nanosecond
 	cfg.Link.FreqTransitionCycles = c.FreqTransitionCycles
 	cfg.Seed = c.Seed
+	cfg.Audit.Enabled = c.Audit
 	switch c.Policy {
 	case PolicyHistory, "":
 		cfg.Policy = network.PolicyHistory
@@ -291,6 +299,24 @@ func (n *Network) Measure(cycles int64) Results {
 
 // InFlight reports packets injected but not yet delivered.
 func (n *Network) InFlight() int64 { return n.inner.InFlight }
+
+// AuditStats summarizes the runtime invariant checker's work so far.
+type AuditStats struct {
+	Scans      int64 // structural scans (conservation, state machines, DVS)
+	Checks     int64 // individual invariant evaluations
+	Violations int64
+}
+
+// AuditStats reports the invariant checker's counters; ok is false when
+// the network was built without Config.Audit.
+func (n *Network) AuditStats() (s AuditStats, ok bool) {
+	a := n.inner.Auditor()
+	if a == nil {
+		return AuditStats{}, false
+	}
+	st := a.Stats()
+	return AuditStats{Scans: st.Scans, Checks: st.Checks, Violations: st.Violations}, true
+}
 
 // LevelHistogram reports, for each DVS level, how many links currently
 // operate there — a snapshot of where the policy has parked the network.
