@@ -7,7 +7,9 @@
 #   make short   # go test -short ./... — structural tests only, < 60 s
 #   make race    # full test suite under the race detector
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
-#   make bench   # scheduler + packet-alloc micro-benchmarks (alloc counts)
+#   make bench   # end-to-end Step + scheduler + packet-alloc benchmarks;
+#                # set BENCH_COUNT=10 for benchstat-ready samples
+#   make bench-json # regenerate the committed BENCH_pr3.json trajectory
 #   make golden  # regenerate testdata/golden after an intentional change
 #
 # `make short` skips the long simulations (testing.Short()); run `make test`
@@ -17,10 +19,15 @@
 GO ?= go
 
 # Packages with concurrency of their own: the experiment harness fan-out
-# and the public facade. Everything else is single-threaded simulation.
-RACE_FAST = ./internal/sim ./internal/stats ./noc
+# and the public facade. internal/network rides along so the parallel
+# harness exercises the activity-driven core (active list + fast-forward)
+# under the race detector. Everything else is single-threaded simulation.
+RACE_FAST = ./internal/sim ./internal/stats ./noc ./internal/network
 
-.PHONY: check vet build test short race race-fast fuzz bench golden
+# Repetitions for `make bench`; benchstat wants >= 10 samples.
+BENCH_COUNT ?= 1
+
+.PHONY: check vet build test short race race-fast fuzz bench bench-json golden
 
 check: vet build short race-fast fuzz
 
@@ -50,9 +57,15 @@ fuzz:
 	$(GO) test ./internal/routing -run xxx -fuzz FuzzRoute -fuzztime 10s
 	$(GO) test ./internal/topology -run xxx -fuzz FuzzTopologyCoords -fuzztime 10s
 
+# benchstat-friendly: `make bench BENCH_COUNT=10 > old.txt`, change code,
+# `make bench BENCH_COUNT=10 > new.txt`, `benchstat old.txt new.txt`.
 bench:
-	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem
-	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem
+	$(GO) test . -run xxx -bench 'BenchmarkStep(LowLoad|Saturation)' -benchmem -count=$(BENCH_COUNT)
+	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem -count=$(BENCH_COUNT)
+	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
+
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

@@ -10,6 +10,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/flow"
@@ -124,6 +125,24 @@ func BenchmarkFiguresSequential(b *testing.B) { benchFigures(b, 1) }
 // multi-core machine it approaches min(GOMAXPROCS, points) before memory
 // bandwidth intervenes).
 func BenchmarkFiguresParallel(b *testing.B) { benchFigures(b, 0) }
+
+// --- Activity-driven core benchmarks -------------------------------------
+
+// BenchmarkStepLowLoad measures router-cycle throughput at a near-idle
+// operating point (rate 0.05), where the activity-driven core elides almost
+// every router tick. Compare against BenchmarkStepLowLoadNoSkip for the
+// speedup; cmd/benchjson records both in BENCH_pr3.json.
+func BenchmarkStepLowLoad(b *testing.B) { bench.Step(b, bench.LowLoadRate, false) }
+
+// BenchmarkStepLowLoadNoSkip is the same point on the always-tick path.
+func BenchmarkStepLowLoadNoSkip(b *testing.B) { bench.Step(b, bench.LowLoadRate, true) }
+
+// BenchmarkStepSaturation measures the saturated platform (rate 4.0), where
+// the active list is dense and its bookkeeping must cost (almost) nothing.
+func BenchmarkStepSaturation(b *testing.B) { bench.Step(b, bench.SaturationRate, false) }
+
+// BenchmarkStepSaturationNoSkip is the saturated always-tick baseline.
+func BenchmarkStepSaturationNoSkip(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }
 
 // --- Substrate micro-benchmarks ------------------------------------------
 

@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed family")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		auditFlag  = flag.Bool("audit", false, "run every simulation under the runtime invariant checker (slower, same output)")
+		noskip     = flag.Bool("noskip", false, "disable the activity-driven simulation core (slower, same output)")
 		jobs       = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -64,7 +65,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	o := noc.ExperimentOptions{Quick: *quick, Full: *full, Seed: *seed, Audit: *auditFlag}
+	o := noc.ExperimentOptions{Quick: *quick, Full: *full, Seed: *seed, Audit: *auditFlag, NoSkip: *noskip}
 	var ids []string
 	switch {
 	case *expID == "all":

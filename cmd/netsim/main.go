@@ -36,6 +36,8 @@ func main() {
 		measure  = flag.Int64("cycles", 150_000, "measured cycles")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		audit    = flag.Bool("audit", false, "verify runtime invariants (conservation, VC and DVS legality) during the run")
+		noskip   = flag.Bool("noskip", false, "disable the activity-driven core (tick every router every cycle); identical results, slower")
+		skipst   = flag.Bool("skipstats", false, "print activity-driven core statistics (fast-forwards, elided ticks, active-router histogram)")
 		levels   = flag.Bool("levels", false, "print the final DVS level histogram")
 		traceN   = flag.Int("trace", 0, "dump the last N trace events after the run")
 		traceK   = flag.String("tracekind", "", "trace filter: inject | deliver | transition | policy")
@@ -85,6 +87,9 @@ func main() {
 	}
 	if set["audit"] || *cfgPath == "" {
 		cfg.Audit = *audit
+	}
+	if set["noskip"] || *cfgPath == "" {
+		cfg.NoSkip = *noskip
 	}
 
 	n, err := noc.New(cfg)
@@ -164,6 +169,9 @@ func main() {
 		fmt.Printf("audit      : %d scans, %d checks, %d violations\n",
 			s.Scans, s.Checks, s.Violations)
 	}
+	if *skipst {
+		printSkipStats(n.SkipStats())
+	}
 	if *levels {
 		fmt.Printf("levels     :")
 		for lvl, count := range n.LevelHistogram() {
@@ -177,4 +185,44 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 		}
 	}
+}
+
+// printSkipStats summarizes the activity-driven core's work avoidance.
+func printSkipStats(s noc.SkipStats) {
+	fmt.Printf("skipping   : %d cycles stepped, %d fast-forwarded in %d jumps, %.1f%% router ticks elided\n",
+		s.CyclesExecuted, s.CyclesFastForwarded, s.FastForwards, 100*s.ElisionRatio)
+	if s.CyclesExecuted == 0 {
+		return
+	}
+	fmt.Printf("active     : %d/%d/%d routers per stepped cycle (p50/p90/max)\n",
+		histQuantile(s.ActiveHist, 0.50), histQuantile(s.ActiveHist, 0.90), histMax(s.ActiveHist))
+}
+
+// histQuantile reports the smallest active-router count whose cumulative
+// cycle share reaches q.
+func histQuantile(hist []int64, q float64) int {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	want := int64(q * float64(total))
+	var cum int64
+	for k, c := range hist {
+		cum += c
+		if cum > want {
+			return k
+		}
+	}
+	return len(hist) - 1
+}
+
+// histMax reports the largest active-router count observed.
+func histMax(hist []int64) int {
+	max := 0
+	for k, c := range hist {
+		if c > 0 {
+			max = k
+		}
+	}
+	return max
 }

@@ -325,6 +325,11 @@ func (c *Checker) OnLinkSend(node, port int, l *link.DVSLink, f *flow.Flit, now 
 	})
 }
 
+// ScanEvery reports the structural scan period in router cycles. The
+// network's quiescent fast-forward uses it to land on every scan cycle
+// exactly, so auditing sees the same cycle numbers either way.
+func (c *Checker) ScanEvery() int64 { return c.opts.ScanEvery }
+
 // EndCycle runs once per router cycle after the network finishes its step;
 // the structural scans run every ScanEvery cycles.
 func (c *Checker) EndCycle(cycle int64, now sim.Time) {

@@ -1,0 +1,86 @@
+// Package bench exports the end-to-end simulation benchmarks shared by the
+// `go test -bench` wrappers at the repo root and cmd/benchjson, which runs
+// them programmatically (via testing.Benchmark) to write the committed
+// BENCH_pr3.json trajectory. Benchmarks defined in _test files cannot be
+// imported, so the bodies live here.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// The end-to-end Step benchmarks run the paper's 8x8 platform at two
+// operating points of its load sweep: near-idle, where the activity-driven
+// core should elide almost every router tick, and past saturation, where
+// every router is busy and the active list must cost (almost) nothing.
+const (
+	LowLoadRate    = 0.05
+	SaturationRate = 4.0
+)
+
+// Step measures b.N router cycles of the paper's full 8x8 platform under a
+// two-level workload at the given aggregate rate. It reports two extra
+// metrics: cycles/sec (router-cycle throughput) and elision-ratio (the
+// fraction of baseline router ticks the activity-driven core skipped during
+// the timed region; zero when noskip pins the always-tick path).
+func Step(b *testing.B, rate float64, noskip bool) {
+	cfg := network.NewConfig()
+	cfg.NoSkip = noskip
+	n, err := network.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := traffic.NewTwoLevelParams(rate)
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Launch(m, sim.Time(1e12))
+	n.Run(5000) // prime the pipelines
+	before := n.SkipStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+	b.StopTimer()
+	after := n.SkipStats()
+	ticks := after.RouterTicks - before.RouterTicks
+	elided := after.RouterTicksElided - before.RouterTicksElided
+	if total := ticks + elided; total > 0 {
+		b.ReportMetric(float64(elided)/float64(total), "elision-ratio")
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "cycles/sec")
+	}
+}
+
+// SchedulerPushPop measures the steady-state cost of one schedule+dispatch
+// pair with ~1k events pending — the simulation kernel's hot path. Mirrors
+// the benchmark in internal/sim.
+func SchedulerPushPop(b *testing.B) {
+	var s sim.Scheduler
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.At(sim.Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+sim.Time(i%64)+1, fn)
+		s.Step()
+	}
+}
+
+// PacketAlloc measures packet + flit-train construction, the allocation hot
+// path of packet injection. Mirrors the benchmark in internal/flow.
+func PacketAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := flow.NewPacket(int64(i), 0, 1, 0, -1)
+		_ = flow.NewPacketFlits(p)
+	}
+}

@@ -30,6 +30,10 @@ type Options struct {
 	// (internal/audit), which panics on the first violation. Results are
 	// identical with or without it; only speed differs.
 	Audit bool
+	// NoSkip disables the activity-driven simulation core (idle-router
+	// skipping and quiescent fast-forward). Results are identical with or
+	// without it; only speed differs.
+	NoSkip bool
 }
 
 // tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
@@ -228,6 +232,7 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 	}
 	cfg.Torus = s.torus
 	cfg.Audit.Enabled = o.Audit
+	cfg.NoSkip = o.NoSkip
 	n, err := network.New(cfg)
 	if err != nil {
 		panic(err)
@@ -251,7 +256,7 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 // same point share one simulation, and a worker-pool slot bounds how many
 // simulations execute at once.
 func run(s spec, o Options) network.Results {
-	key := fmt.Sprintf("%v|%v|%v|%v|%+v", o.Quick, o.Full, o.Audit, o.Seed, s)
+	key := fmt.Sprintf("%v|%v|%v|%v|%v|%+v", o.Quick, o.Full, o.Audit, o.NoSkip, o.Seed, s)
 	return runCache.do(key, func() (r network.Results) {
 		withSimSlot(func() {
 			warm, meas := o.budget()

@@ -110,7 +110,10 @@ func (l *DVSLink) Volt() float64 { return l.volt }
 // invariant audit (internal/audit).
 func (l *DVSLink) TransitionFrom() int { return l.from }
 
-// Transitioning reports whether a level change is in flight.
+// Transitioning reports whether a level change is in flight. Every
+// in-flight transition keeps a completion event pending in the scheduler,
+// so the network's quiescent fast-forward can never jump past a
+// transition edge: the pending event bounds the jump.
 func (l *DVSLink) Transitioning() bool { return l.state != Functional }
 
 // Period reports the current link clock period — also the serialization

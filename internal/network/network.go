@@ -8,6 +8,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/audit"
 	"repro/internal/core"
@@ -79,6 +80,13 @@ type Config struct {
 
 	// Seed feeds the traffic model when one is attached via Run.
 	Seed uint64
+
+	// NoSkip disables the activity-driven core: every router ticks every
+	// cycle and quiescent intervals execute cycle by cycle, exactly as the
+	// pre-activity-tracking simulator did. A debugging escape hatch — the
+	// skipping path is proven byte-identical to this one by the equivalence
+	// tests, so the only observable difference is speed.
+	NoSkip bool
 
 	// Audit configures the runtime invariant checker (internal/audit).
 	// Disabled by default; when Audit.Enabled, the platform verifies flit
@@ -155,10 +163,12 @@ type injector struct {
 // link period (8 cycles at 1 GHz), far below it.
 const ringSize = 64
 
-// arrivalMsg is a flit landing at a router input port.
+// arrivalMsg is a flit landing at a router input port. node is the
+// destination router, kept so delivery can re-arm it on the active list.
 type arrivalMsg struct {
 	in   *router.InputPort
 	flit *flow.Flit
+	node int
 }
 
 // creditMsg returns one buffer slot to an upstream output port.
@@ -216,6 +226,25 @@ type Network struct {
 	// cycle, replacing per-message scheduler events on the hot path.
 	ring [ringSize]ringBucket
 
+	// Activity tracking: the simulation core is activity-driven. activeMask
+	// marks routers whose state a Tick could change (occupied input VCs or
+	// draining output pipelines); Step iterates only set bits, in ascending
+	// node order so the event sequence matches the tick-everything baseline
+	// exactly. injMask marks nodes whose source injector holds work. Flit
+	// arrivals (ring, slow path, injection) re-arm a router; the end-of-step
+	// sweep retires routers whose Busy predicate went false. With Cfg.NoSkip
+	// every bit stays permanently set and both masks degenerate to the
+	// original tick-everything loops.
+	activeMask  []uint64
+	activeCount int
+	injMask     []uint64
+	injCount    int
+	// ringCount totals messages buffered across ring buckets, so the
+	// quiescence test is one compare instead of a bucket scan.
+	ringCount int
+	noskip    bool
+	skips     SkipStats
+
 	// aud, when non-nil, is the runtime invariant checker; every hook site
 	// nil-checks it so the disabled cost is one pointer compare.
 	aud *audit.Checker
@@ -232,6 +261,73 @@ type slowMsg struct {
 	flit *flow.Flit
 	out  *router.OutputPort
 	vc   int
+}
+
+// SkipStats measures how much work the activity-driven core avoided. All
+// counters cover the network's lifetime.
+type SkipStats struct {
+	// CyclesExecuted counts router cycles that ran through Step;
+	// CyclesFastForwarded counts cycles jumped over while the network was
+	// quiescent, in FastForwards distinct jumps. Executed + fast-forwarded
+	// equals Cycle().
+	CyclesExecuted      int64
+	CyclesFastForwarded int64
+	FastForwards        int64
+	// RouterTicks counts Router.Tick calls performed; RouterTicksElided
+	// counts the tick calls the always-tick baseline would have made but
+	// the active list or a fast-forward skipped.
+	RouterTicks       int64
+	RouterTicksElided int64
+	// ActiveHist[k] counts executed cycles that ticked exactly k routers.
+	ActiveHist []int64
+}
+
+// ElisionRatio reports the fraction of baseline router ticks skipped.
+func (s SkipStats) ElisionRatio() float64 {
+	total := s.RouterTicks + s.RouterTicksElided
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RouterTicksElided) / float64(total)
+}
+
+// SkipStats reports the activity-driven core's lifetime skip counters.
+func (n *Network) SkipStats() SkipStats {
+	s := n.skips
+	s.ActiveHist = append([]int64(nil), n.skips.ActiveHist...)
+	return s
+}
+
+// TransitionsInFlight counts DVS links currently mid-transition. Every
+// in-flight transition has a completion event pending in the scheduler,
+// which is what bounds quiescent fast-forward; this accessor exists for
+// observability and the skip-safety assertion in Run.
+func (n *Network) TransitionsInFlight() int {
+	c := 0
+	for _, ctl := range n.ctls {
+		if ctl.link.Transitioning() {
+			c++
+		}
+	}
+	return c
+}
+
+// markActive arms one router on the active list.
+func (n *Network) markActive(node int) {
+	w, b := node>>6, uint64(1)<<(node&63)
+	if n.activeMask[w]&b == 0 {
+		n.activeMask[w] |= b
+		n.activeCount++
+	}
+}
+
+// markInject arms one node's source injector.
+func (n *Network) markInject(node int) {
+	w, b := node>>6, uint64(1)<<(node&63)
+	if n.injMask[w]&b == 0 {
+		n.injMask[w] |= b
+		n.injCount++
+	}
 }
 
 // New builds the platform.
@@ -312,6 +408,21 @@ func New(cfg Config) (*Network, error) {
 
 	n.Lat = stats.NewLatency(cfg.RouterPeriod)
 	n.Meter = power.NewMeter(table, all, 0)
+
+	nodes := topo.Nodes()
+	words := (nodes + 63) / 64
+	n.activeMask = make([]uint64, words)
+	n.injMask = make([]uint64, words)
+	n.skips.ActiveHist = make([]int64, nodes+1)
+	n.noskip = cfg.NoSkip
+	if n.noskip {
+		// Degenerate masks: every router ticks and every injector is
+		// scanned each cycle, exactly the pre-activity-tracking loops.
+		for i := 0; i < nodes; i++ {
+			n.markActive(i)
+			n.markInject(i)
+		}
+	}
 
 	if cfg.Audit.Enabled {
 		n.aud = audit.New(cfg.Audit, audit.Wiring{
@@ -415,6 +526,7 @@ func (n *Network) Inject(src, dst int, now sim.Time, task int64) {
 	n.nextPkt++
 	p := flow.NewPacket(n.nextPkt, src, dst, now, task)
 	n.injectors[src].queue = append(n.injectors[src].queue, p)
+	n.markInject(src)
 	n.injected++
 	n.InFlight++
 	if n.aud != nil {
@@ -430,18 +542,46 @@ func (n *Network) Cycle() int64 { return n.cycle }
 func (n *Network) Now() sim.Time { return n.Sched.Now() }
 
 // Step advances the platform one router cycle: deliver pending events,
-// inject, tick routers, transmit onto links, eject, and run the DVS policy
-// when a history window closes.
+// inject, tick the active routers, transmit onto links, eject, and run the
+// DVS policy when a history window closes. Routers not on the active list
+// are skipped; skipping them is exact, because an idle router's Tick,
+// transmit and eject phases are provable no-ops (see Router.Busy).
 func (n *Network) Step() {
 	now := sim.Time(n.cycle) * n.Cfg.RouterPeriod
 	n.Sched.RunUntil(now)
 	n.drainRing(now)
 	n.injectFlits(now)
-	for _, r := range n.Routers {
-		r.Tick(now, n.Cfg.RouterPeriod)
+	ticked := 0
+	for w, word := range n.activeMask {
+		base := w << 6
+		for word != 0 {
+			r := n.Routers[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			r.Tick(now, n.Cfg.RouterPeriod)
+			ticked++
+		}
 	}
 	n.transmit(now)
 	n.eject(now)
+	if !n.noskip {
+		// Retire routers that went idle this cycle. Their bits re-arm on
+		// the next flit arrival (ring delivery, injection, or slow path).
+		for w, word := range n.activeMask {
+			base := w << 6
+			for word != 0 {
+				i := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !n.Routers[i].Busy() {
+					n.activeMask[w] &^= 1 << (i & 63)
+					n.activeCount--
+				}
+			}
+		}
+	}
+	n.skips.CyclesExecuted++
+	n.skips.RouterTicks += int64(ticked)
+	n.skips.RouterTicksElided += int64(len(n.Routers) - ticked)
+	n.skips.ActiveHist[ticked]++
 	n.cycle++
 	if n.cycle%int64(n.Cfg.DVS.H) == 0 {
 		n.runPolicies(now)
@@ -454,10 +594,85 @@ func (n *Network) Step() {
 	}
 }
 
-// Run advances the given number of router cycles.
+// Run advances the given number of router cycles. When the platform is
+// quiescent — no active routers, no pending injector work, no ring-buffered
+// messages — it fast-forwards the cycle counter straight to the next
+// interesting edge instead of stepping empty cycles. The jump is exact, not
+// approximate: every cycle that could observe or change state (the first
+// cycle delivering a scheduler event, each policy-window close, each probe
+// tick, each audit scan) still executes with the same cycle number and the
+// same simulation instant as in the cycle-by-cycle baseline.
 func (n *Network) Run(cycles int64) {
-	for i := int64(0); i < cycles; i++ {
+	target := n.cycle + cycles
+	for n.cycle < target {
+		if !n.noskip && n.activeCount == 0 && n.injCount == 0 && n.ringCount == 0 {
+			if c := n.nextInterestingCycle(target); c > n.cycle {
+				n.fastForward(c)
+				continue
+			}
+		}
 		n.Step()
+	}
+}
+
+// boundaryFrom reports the smallest cycle c >= from whose Step closes a
+// period-`every` window, i.e. (c+1) % every == 0: Step increments the cycle
+// counter before testing it against the window length.
+func boundaryFrom(from, every int64) int64 {
+	return (from+every)/every*every - 1
+}
+
+// nextInterestingCycle reports the first cycle at or after the current one
+// that must execute while the network is quiescent: the cycle whose
+// RunUntil delivers the earliest pending scheduler event (traffic
+// injections, DVS transition completions and slow-path messages all live
+// there), the next DVS policy-window close, the next probe tick, and the
+// next audit scan. Everything in between is provably empty: no router
+// state, link window, energy ledger or occupancy integral changes on those
+// cycles (the lazily accrued quantities integrate over the jump exactly).
+// The result is clamped to target, the end of the current Run.
+func (n *Network) nextInterestingCycle(target int64) int64 {
+	next := target
+	if n.Sched.Pending() > 0 {
+		if c := n.dueCycle(n.Sched.PeekTime()); c < next {
+			next = c
+		}
+	}
+	if n.Cfg.Policy != PolicyNone {
+		// With PolicyNone every controller is core.NoDVS and runPolicies is
+		// a no-op, so window closes need not execute.
+		if c := boundaryFrom(n.cycle, int64(n.Cfg.DVS.H)); c < next {
+			next = c
+		}
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 {
+		if c := boundaryFrom(n.cycle, n.ProbeEvery); c < next {
+			next = c
+		}
+	}
+	if n.aud != nil {
+		if c := boundaryFrom(n.cycle, n.aud.ScanEvery()); c < next {
+			next = c
+		}
+	}
+	if next < n.cycle {
+		next = n.cycle
+	}
+	return next
+}
+
+// fastForward jumps the cycle counter to c and advances the scheduler clock
+// to the last skipped cycle edge, exactly where cycle-by-cycle stepping
+// would have left it. No scheduler event can fire in the jumped span: c is
+// bounded by the due cycle of the earliest pending event.
+func (n *Network) fastForward(c int64) {
+	skipped := c - n.cycle
+	n.skips.CyclesFastForwarded += skipped
+	n.skips.FastForwards++
+	n.skips.RouterTicksElided += skipped * int64(len(n.Routers))
+	n.cycle = c
+	if ran := n.Sched.RunUntil(sim.Time(c-1) * n.Cfg.RouterPeriod); ran != 0 {
+		panic(fmt.Sprintf("network: fast-forward to cycle %d ran %d events — jump bound broken", c, ran))
 	}
 }
 
@@ -468,29 +683,37 @@ func (n *Network) dueCycle(at sim.Time) int64 {
 	return int64((at + p - 1) / p)
 }
 
-// enqueueArrival buffers a flit delivery due at the given instant. Delays
-// beyond the ring span (impossible for link serialization) fall back to the
-// scheduler.
-func (n *Network) enqueueArrival(in *router.InputPort, f *flow.Flit, at sim.Time) {
+// enqueueArrival buffers a flit delivery at node's input port due at the
+// given instant. Delays beyond the ring span (impossible for link
+// serialization) fall back to the scheduler. Either path re-arms the
+// destination router when the flit lands.
+func (n *Network) enqueueArrival(node int, in *router.InputPort, f *flow.Flit, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
 		if n.aud == nil {
-			n.Sched.At(at, func() { in.Arrive(f, n.Sched.Now()) })
+			n.Sched.At(at, func() {
+				n.markActive(node)
+				in.Arrive(f, n.Sched.Now())
+			})
 		} else {
 			m := slowMsg{in: in, flit: f}
 			n.audSlow = append(n.audSlow, m)
 			n.Sched.At(at, func() {
 				n.audSlowDrop(m)
+				n.markActive(node)
 				in.Arrive(f, n.Sched.Now())
 			})
 		}
 		return
 	}
 	b := &n.ring[due%ringSize]
-	b.arrivals = append(b.arrivals, arrivalMsg{in: in, flit: f})
+	b.arrivals = append(b.arrivals, arrivalMsg{in: in, flit: f, node: node})
+	n.ringCount++
 }
 
-// enqueueCredit buffers a credit return due at the given instant.
+// enqueueCredit buffers a credit return due at the given instant. Credits
+// need no active-list re-arm: a credit only unblocks a router that already
+// holds flits waiting to traverse, and such a router is busy by definition.
 func (n *Network) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
@@ -508,12 +731,16 @@ func (n *Network) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	}
 	b := &n.ring[due%ringSize]
 	b.credits = append(b.credits, creditMsg{out: out, vc: vc})
+	n.ringCount++
 }
 
-// drainRing delivers the messages due this cycle.
+// drainRing delivers the messages due this cycle and re-arms the routers
+// that received flits.
 func (n *Network) drainRing(now sim.Time) {
 	b := &n.ring[n.cycle%ringSize]
+	n.ringCount -= len(b.arrivals) + len(b.credits)
 	for i, a := range b.arrivals {
+		n.markActive(a.node)
 		a.in.Arrive(a.flit, now)
 		b.arrivals[i] = arrivalMsg{}
 	}
@@ -526,114 +753,163 @@ func (n *Network) drainRing(now sim.Time) {
 }
 
 // injectFlits moves source-queue flits into local input buffers: one flit
-// per node per cycle, packets contiguous per VC.
+// per node per cycle, packets contiguous per VC. Only nodes on the
+// injector mask are visited; a node leaves the mask when both its queue
+// and its in-progress flit train are empty.
 func (n *Network) injectFlits(now sim.Time) {
-	for node, inj := range n.injectors {
-		in := n.Routers[node].Inputs[topology.LocalPort]
-		if len(inj.current) == 0 {
-			if len(inj.queue) == 0 {
-				continue
-			}
-			// Pick the VC with the most free space for the next packet.
-			best, bestFree := -1, 0
-			for vc := 0; vc < n.Cfg.Router.VCs; vc++ {
-				if f := in.Free(vc); f > bestFree {
-					best, bestFree = vc, f
-				}
-			}
-			if best < 0 || bestFree < 1 {
-				continue
-			}
-			p := inj.queue[0]
-			inj.queue = inj.queue[1:]
-			p.Injected = now
-			inj.current = flow.NewPacketFlits(p)
-			inj.vc = best
-			if n.aud != nil {
-				n.aud.OnSourceDequeue(p, n.cycle)
+	for w, word := range n.injMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			inj := n.injectors[node]
+			n.injectOne(node, inj, now)
+			if !n.noskip && len(inj.current) == 0 && len(inj.queue) == 0 {
+				n.injMask[w] &^= 1 << (node & 63)
+				n.injCount--
 			}
 		}
-		if in.Free(inj.vc) < 1 {
-			continue
-		}
-		f := inj.current[0]
-		inj.current = inj.current[1:]
-		f.VC = inj.vc
-		in.Arrive(f, now)
 	}
 }
 
-// transmit drains output pipelines onto functional, idle links, scheduling
-// flit arrival at the downstream router after serialization.
-func (n *Network) transmit(now sim.Time) {
-	for node, r := range n.Routers {
-		for port := 1; port < n.Cfg.Router.Ports; port++ {
-			out := r.Outputs[port]
-			l := out.Link
-			if l == nil || len(out.Tx()) == 0 {
-				continue
-			}
-			front := out.Tx()[0]
-			if front.ReadyAt() > now || !l.CanSend(now) {
-				continue
-			}
-			out.PopTx()
-			f := front.Flit()
-			if n.aud != nil {
-				n.aud.OnLinkSend(node, port, l, f, now, n.cycle)
-			}
-			d := l.Send(now)
-
-			dim, dir := n.Topo.DimDir(port)
-			dst, ok := n.Topo.Neighbor(node, dim, dir)
-			if !ok {
-				panic("network: flit routed off the mesh edge")
-			}
-			if f.Kind == flow.Head {
-				// Advance dateline state as the head crosses the channel.
-				cx := n.Topo.Coord(node, dim)
-				wrap := n.Topo.Torus() &&
-					((dir == topology.Plus && cx == n.Topo.K()-1) ||
-						(dir == topology.Minus && cx == 0))
-				st := routing.State{LastDim: f.Packet.LastDim, Wrapped: f.Packet.Wrapped}
-				st = st.Advance(dim, wrap)
-				f.Packet.LastDim, f.Packet.Wrapped = st.LastDim, st.Wrapped
-			}
-			inPort := n.Topo.PortFor(dim, 1-dir)
-			n.enqueueArrival(n.Routers[dst].Inputs[inPort], f, now+d)
+// injectOne advances one node's injector by at most one flit.
+func (n *Network) injectOne(node int, inj *injector, now sim.Time) {
+	in := n.Routers[node].Inputs[topology.LocalPort]
+	if len(inj.current) == 0 {
+		if len(inj.queue) == 0 {
+			return
 		}
+		// Pick the VC with the most free space for the next packet.
+		best, bestFree := -1, 0
+		for vc := 0; vc < n.Cfg.Router.VCs; vc++ {
+			if f := in.Free(vc); f > bestFree {
+				best, bestFree = vc, f
+			}
+		}
+		if best < 0 || bestFree < 1 {
+			return
+		}
+		p := inj.queue[0]
+		inj.queue = inj.queue[1:]
+		p.Injected = now
+		inj.current = flow.NewPacketFlits(p)
+		inj.vc = best
+		if n.aud != nil {
+			n.aud.OnSourceDequeue(p, n.cycle)
+		}
+	}
+	if in.Free(inj.vc) < 1 {
+		return
+	}
+	f := inj.current[0]
+	inj.current = inj.current[1:]
+	f.VC = inj.vc
+	n.markActive(node)
+	in.Arrive(f, now)
+}
+
+// transmit drains output pipelines onto functional, idle links, scheduling
+// flit arrival at the downstream router after serialization. Only active
+// routers are visited: a router with queued tx entries is busy by
+// definition, and the deactivation sweep runs after this phase.
+func (n *Network) transmit(now sim.Time) {
+	for w, word := range n.activeMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			n.transmitNode(node, now)
+		}
+	}
+}
+
+// transmitNode drains one router's output pipelines onto its links. The
+// router's tx port mask names exactly the ports with queued entries, in
+// ascending port order, so empty ports cost nothing.
+func (n *Network) transmitNode(node int, now sim.Time) {
+	r := n.Routers[node]
+	for mask := r.TxPortMask() &^ 1; mask != 0; mask &= mask - 1 {
+		port := bits.TrailingZeros32(mask)
+		out := r.Outputs[port]
+		l := out.Link
+		if l == nil {
+			continue
+		}
+		front := out.Tx()[0]
+		if front.ReadyAt() > now || !l.CanSend(now) {
+			continue
+		}
+		out.PopTx()
+		f := front.Flit()
+		if n.aud != nil {
+			n.aud.OnLinkSend(node, port, l, f, now, n.cycle)
+		}
+		d := l.Send(now)
+
+		dim, dir := n.Topo.DimDir(port)
+		dst, ok := n.Topo.Neighbor(node, dim, dir)
+		if !ok {
+			panic("network: flit routed off the mesh edge")
+		}
+		if f.Kind == flow.Head {
+			// Advance dateline state as the head crosses the channel.
+			cx := n.Topo.Coord(node, dim)
+			wrap := n.Topo.Torus() &&
+				((dir == topology.Plus && cx == n.Topo.K()-1) ||
+					(dir == topology.Minus && cx == 0))
+			st := routing.State{LastDim: f.Packet.LastDim, Wrapped: f.Packet.Wrapped}
+			st = st.Advance(dim, wrap)
+			f.Packet.LastDim, f.Packet.Wrapped = st.LastDim, st.Wrapped
+		}
+		inPort := n.Topo.PortFor(dim, 1-dir)
+		n.enqueueArrival(dst, n.Routers[dst].Inputs[inPort], f, now+d)
 	}
 }
 
 // eject drains local output pipelines: every ready flit leaves immediately
-// (the paper assumes immediate ejection), and tails complete packets.
+// (the paper assumes immediate ejection), and tails complete packets. Like
+// transmit, it only visits active routers: queued ejection flits keep a
+// router busy until this phase drains them.
 func (n *Network) eject(now sim.Time) {
-	for _, r := range n.Routers {
-		out := r.Outputs[topology.LocalPort]
-		for len(out.Tx()) > 0 && out.Tx()[0].ReadyAt() <= now {
-			e := out.PopTx()
-			f := e.Flit()
-			if n.aud != nil {
-				n.aud.OnEject(f, r.ID, n.cycle)
-			}
-			if f.Kind != flow.Tail {
-				continue
-			}
-			p := f.Packet
-			p.Delivered = now
-			n.InFlight--
-			n.Trace.Log(trace.Event{At: now, Kind: trace.PacketDelivered,
-				ID: p.ID, A: p.Src, B: p.Dst, C: int64(p.Latency())})
-			if p.Created >= n.measStart {
-				n.Lat.Add(p.Latency())
-				n.delivered++
-			}
-			if n.aud != nil {
-				n.aud.OnDeliver(p, n.cycle)
-			}
-			if n.OnDeliver != nil {
-				n.OnDeliver(p)
-			}
+	for w, word := range n.activeMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			n.ejectNode(n.Routers[node], now)
+		}
+	}
+}
+
+// ejectNode drains one router's local output pipeline.
+func (n *Network) ejectNode(r *router.Router, now sim.Time) {
+	if r.LocalTxQueued() == 0 {
+		return
+	}
+	out := r.Outputs[topology.LocalPort]
+	for len(out.Tx()) > 0 && out.Tx()[0].ReadyAt() <= now {
+		e := out.PopTx()
+		f := e.Flit()
+		if n.aud != nil {
+			n.aud.OnEject(f, r.ID, n.cycle)
+		}
+		if f.Kind != flow.Tail {
+			continue
+		}
+		p := f.Packet
+		p.Delivered = now
+		n.InFlight--
+		n.Trace.Log(trace.Event{At: now, Kind: trace.PacketDelivered,
+			ID: p.ID, A: p.Src, B: p.Dst, C: int64(p.Latency())})
+		if p.Created >= n.measStart {
+			n.Lat.Add(p.Latency())
+			n.delivered++
+		}
+		if n.aud != nil {
+			n.aud.OnDeliver(p, n.cycle)
+		}
+		if n.OnDeliver != nil {
+			n.OnDeliver(p)
 		}
 	}
 }

@@ -57,6 +57,14 @@ type InputPort struct {
 	vcs      []*inputVC
 	bufPerVC int
 
+	// occupied points at the router's per-port buffered-flit counter
+	// (Router.inOcc): the allocator stages scan that dense array to skip
+	// idle ports without touching each InputPort's cache line. total
+	// points at the router's whole-router counter behind the O(1) Busy
+	// predicate.
+	occupied *int
+	total    *int
+
 	// creditFn returns one credit to the upstream output port for vc; the
 	// network installs it with the reverse channel's latency baked in. Nil
 	// for injection ports (the source queue needs no credits).
@@ -71,8 +79,8 @@ type InputPort struct {
 	Writes int64
 }
 
-func newInputPort(vcs, bufPerVC int) *InputPort {
-	p := &InputPort{vcs: make([]*inputVC, vcs), bufPerVC: bufPerVC}
+func newInputPort(vcs, bufPerVC int, occupied, total *int) *InputPort {
+	p := &InputPort{vcs: make([]*inputVC, vcs), bufPerVC: bufPerVC, occupied: occupied, total: total}
 	for i := range p.vcs {
 		p.vcs[i] = &inputVC{}
 	}
@@ -83,13 +91,7 @@ func newInputPort(vcs, bufPerVC int) *InputPort {
 func (p *InputPort) Free(vc int) int { return p.bufPerVC - len(p.vcs[vc].buf) }
 
 // Occupied reports the total buffered flits across VCs.
-func (p *InputPort) Occupied() int {
-	n := 0
-	for _, v := range p.vcs {
-		n += len(v.buf)
-	}
-	return n
-}
+func (p *InputPort) Occupied() int { return *p.occupied }
 
 // Arrive buffers a flit on its virtual channel at time now. The upstream
 // router's credit accounting guarantees space; overflow is a protocol bug
@@ -100,6 +102,8 @@ func (p *InputPort) Arrive(f *flow.Flit, now sim.Time) {
 		panic("router: input VC overflow — credit protocol violated")
 	}
 	v.buf = append(v.buf, bufEntry{flit: f, arrivedAt: now})
+	*p.occupied++
+	*p.total++
 	p.Writes++
 }
 
@@ -143,6 +147,15 @@ type OutputPort struct {
 	infiniteCredits bool // ejection port: the sink always accepts
 
 	tx []TxEntry
+	// txTotal points at the owning router's queued-tx counter for this
+	// port class (link ports vs the local ejection port), so the network
+	// can skip the whole transmit or eject phase in one compare. txMask is
+	// the router's bitmask of ports with queued tx (bit = 1<<port): the
+	// transmit phase iterates its set bits instead of scanning every
+	// OutputPort for emptiness.
+	txTotal *int
+	txMask  *uint32
+	portBit uint32
 
 	// Downstream buffer occupancy (capacity - credits) integrated over
 	// time; BU = integral / (slots * window).
@@ -152,11 +165,14 @@ type OutputPort struct {
 	lastOccAt   sim.Time
 }
 
-func newOutputPort(vcs, bufPerVC int, infinite bool) *OutputPort {
+func newOutputPort(vcs, bufPerVC, port int, infinite bool, txTotal *int, txMask *uint32) *OutputPort {
 	p := &OutputPort{
 		vcs:             make([]*outVCState, vcs),
 		infiniteCredits: infinite,
 		totalSlots:      vcs * bufPerVC,
+		txTotal:         txTotal,
+		txMask:          txMask,
+		portBit:         1 << uint(port),
 	}
 	for i := range p.vcs {
 		p.vcs[i] = &outVCState{credits: bufPerVC}
@@ -223,6 +239,10 @@ func (p *OutputPort) PopTx() TxEntry {
 	e := p.tx[0]
 	p.tx[0] = TxEntry{}
 	p.tx = p.tx[1:]
+	*p.txTotal--
+	if len(p.tx) == 0 {
+		*p.txMask &^= p.portBit
+	}
 	return e
 }
 

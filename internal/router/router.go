@@ -71,8 +71,28 @@ type Router struct {
 	scNominee []int
 	scVCReq   []bool
 	scOutReq  []bool
+	scOutWant []bool
 	scWants   [][]int
 	scVAReq   []bool
+
+	// vaWaiting counts input VCs in the vcWaitingVC stage, so the VA stage
+	// can bail out in one compare when nothing is waiting (the common case).
+	vaWaiting int
+
+	// Aggregate work counters, maintained by the ports through back
+	// pointers: bufFlits totals buffered input flits across all ports,
+	// txLink totals queued tx entries on link output ports, txLocal on the
+	// local ejection port. They make Busy and the network's per-phase
+	// early-outs O(1) instead of per-port sweeps. inOcc holds the per-port
+	// buffered-flit counts in one dense array so the allocator stages can
+	// skip idle ports without touching each InputPort; txMask has bit
+	// 1<<port set while that output port has queued tx, so the network's
+	// transmit phase visits only ports with work.
+	bufFlits int
+	txLink   int
+	txLocal  int
+	inOcc    []int
+	txMask   uint32
 
 	// Asserts enables in-pipeline legality checks (no grant without
 	// request, no traversal without a downstream credit). Set by the
@@ -112,9 +132,14 @@ func New(id int, cfg Config) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{ID: id, Cfg: cfg}
+	r.inOcc = make([]int, cfg.Ports)
 	for p := 0; p < cfg.Ports; p++ {
-		r.Inputs = append(r.Inputs, newInputPort(cfg.VCs, cfg.BufPerVC()))
-		r.Outputs = append(r.Outputs, newOutputPort(cfg.VCs, cfg.BufPerVC(), p == 0))
+		txTotal := &r.txLink
+		if p == 0 {
+			txTotal = &r.txLocal
+		}
+		r.Inputs = append(r.Inputs, newInputPort(cfg.VCs, cfg.BufPerVC(), &r.inOcc[p], &r.bufFlits))
+		r.Outputs = append(r.Outputs, newOutputPort(cfg.VCs, cfg.BufPerVC(), p, p == 0, txTotal, &r.txMask))
 		r.inputArb = append(r.inputArb, newArbiter(cfg.VCs))
 		r.saArb = append(r.saArb, newArbiter(cfg.Ports))
 	}
@@ -124,6 +149,7 @@ func New(id int, cfg Config) (*Router, error) {
 	r.scNominee = make([]int, cfg.Ports)
 	r.scVCReq = make([]bool, cfg.VCs)
 	r.scOutReq = make([]bool, cfg.Ports)
+	r.scOutWant = make([]bool, cfg.Ports)
 	r.scWants = make([][]int, cfg.Ports*cfg.VCs)
 	r.scVAReq = make([]bool, cfg.Ports*cfg.VCs)
 	return r, nil
@@ -143,6 +169,29 @@ func (r *Router) Tick(now sim.Time, period sim.Duration) {
 	r.routeComputation()
 }
 
+// Busy reports whether ticking the router could change any state: some
+// input VC holds a flit or some output pipeline is draining. A router for
+// which Busy is false ticks as a provable no-op — every allocator stage
+// sees zero requests and touches nothing, including the round-robin
+// arbiter pointers — so the network may skip it entirely. (An input VC in
+// vcActive with an empty buffer, mid-packet, also ticks as a no-op; the
+// arrival of its next body flit re-marks the router.)
+func (r *Router) Busy() bool {
+	return r.bufFlits > 0 || r.txLink > 0 || r.txLocal > 0
+}
+
+// LinkTxQueued reports the queued tx entries across link output ports, so
+// the network's transmit phase can skip the whole router in one compare.
+func (r *Router) LinkTxQueued() int { return r.txLink }
+
+// TxPortMask reports the bitmask of output ports (bit 1<<port) with queued
+// tx entries; the network's transmit phase iterates its set bits.
+func (r *Router) TxPortMask() uint32 { return r.txMask }
+
+// LocalTxQueued reports the queued tx entries on the local ejection port,
+// so the network's eject phase can skip the router in one compare.
+func (r *Router) LocalTxQueued() int { return r.txLocal }
+
 // switchAllocation is the separable SA stage plus switch traversal:
 // input-first round-robin among each port's eligible VCs, then output-side
 // round-robin among competing input ports. Winners leave their input
@@ -150,11 +199,18 @@ func (r *Router) Tick(now sim.Time, period sim.Duration) {
 // the output pipeline.
 func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
 	// Input stage: each input port nominates one VC. Idle ports (the
-	// common case network-wide) skip arbitration entirely.
+	// common case network-wide) skip arbitration entirely — empty ports in
+	// one integer compare, ports whose VCs are all blocked after the sweep.
 	nominee := r.scNominee // VC index per input port, -1 none
 	requests := r.scVCReq
+	outWant := r.scOutWant // output ports targeted by at least one nominee
 	anyNominee := false
-	for i, in := range r.Inputs {
+	for i, occ := range r.inOcc {
+		if occ == 0 {
+			nominee[i] = -1
+			continue
+		}
+		in := r.Inputs[i]
 		anyReq := false
 		for v, vc := range in.vcs {
 			req := vc.stage == vcActive && !vc.empty() &&
@@ -166,27 +222,30 @@ func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
 			nominee[i] = -1
 			continue
 		}
+		if !anyNominee {
+			for p := range outWant {
+				outWant[p] = false
+			}
+		}
 		nominee[i] = r.inputArb[i].pick(requests)
 		if r.Asserts && nominee[i] >= 0 && !requests[nominee[i]] {
 			panic(fmt.Sprintf("router %d: SA input arbiter granted port %d vc %d without a request", r.ID, i, nominee[i]))
 		}
 		r.Activity.ArbGrants++
+		outWant[in.vcs[nominee[i]].outPort] = true
 		anyNominee = true
 	}
 	if !anyNominee {
 		return
 	}
-	// Output stage: each output port grants one input port.
+	// Output stage: each output port with contenders grants one input port.
 	outReq := r.scOutReq
 	for p := range r.Outputs {
-		anyReq := false
-		for i := range r.Inputs {
-			req := nominee[i] >= 0 && r.Inputs[i].vcs[nominee[i]].outPort == p
-			outReq[i] = req
-			anyReq = anyReq || req
-		}
-		if !anyReq {
+		if !outWant[p] {
 			continue
+		}
+		for i := range r.Inputs {
+			outReq[i] = nominee[i] >= 0 && r.Inputs[i].vcs[nominee[i]].outPort == p
 		}
 		winner := r.saArb[p].pick(outReq)
 		if winner < 0 {
@@ -211,6 +270,8 @@ func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
 	}
 
 	e := vc.pop()
+	r.inOcc[i]--
+	r.bufFlits--
 	f := e.flit
 	inVC := f.VC // the VC the flit occupied here, for the upstream credit
 
@@ -227,6 +288,8 @@ func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
 	f.VC = vc.outVC
 	extra := sim.Duration(r.Cfg.PipelineDepth-3) * period
 	out.tx = append(out.tx, TxEntry{flit: f, readyAt: now + extra})
+	*out.txTotal++
+	*out.txMask |= out.portBit
 	r.FlitsSwitched++
 	r.Activity.BufReads++
 	r.Activity.Crossbar++
@@ -242,6 +305,9 @@ func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
 // its best free (output port, output VC) pair, then a per-output-VC
 // round-robin arbiter grants among contenders.
 func (r *Router) vcAllocation() {
+	if r.vaWaiting == 0 {
+		return
+	}
 	cfg := r.Cfg
 	// wants[key] lists global input-VC ids nominating output VC key;
 	// iterated by key index to keep allocation deterministic.
@@ -250,8 +316,13 @@ func (r *Router) vcAllocation() {
 		wants[i] = wants[i][:0]
 	}
 	any := false
-	for i, in := range r.Inputs {
-		for v, vc := range in.vcs {
+	for i, occ := range r.inOcc {
+		if occ == 0 {
+			// A waiting VC always holds at least its head flit, so an empty
+			// port has nothing in the VA stage.
+			continue
+		}
+		for v, vc := range r.Inputs[i].vcs {
 			if vc.stage != vcWaitingVC {
 				continue
 			}
@@ -289,6 +360,7 @@ func (r *Router) vcAllocation() {
 		i, v := g/cfg.VCs, g%cfg.VCs
 		vc := r.Inputs[i].vcs[v]
 		vc.stage = vcActive
+		r.vaWaiting--
 		vc.outPort, vc.outVC = key/cfg.VCs, key%cfg.VCs
 		st := r.Outputs[vc.outPort].vcs[vc.outVC]
 		st.held = true
@@ -325,8 +397,11 @@ func (r *Router) nominate(vc *inputVC) (port, outVC int, ok bool) {
 // routeComputation is the RC stage: idle VCs with a head flit at the front
 // compute their admissible outputs.
 func (r *Router) routeComputation() {
-	for _, in := range r.Inputs {
-		for _, vc := range in.vcs {
+	for i, occ := range r.inOcc {
+		if occ == 0 {
+			continue
+		}
+		for _, vc := range r.Inputs[i].vcs {
 			if vc.stage != vcIdle || vc.empty() {
 				continue
 			}
@@ -339,6 +414,7 @@ func (r *Router) routeComputation() {
 				panic(fmt.Sprintf("router %d: no route for %v", r.ID, f))
 			}
 			vc.stage = vcWaitingVC
+			r.vaWaiting++
 		}
 	}
 }

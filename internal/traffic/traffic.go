@@ -21,6 +21,13 @@ type Injector func(src, dst int, now sim.Time, task int64)
 type Model interface {
 	// Launch arms the model's event chains. Events beyond horizon are not
 	// scheduled. inject may be called many times per event.
+	//
+	// Every model must pre-schedule its next injection as a scheduler
+	// event chain (each event arms the next) rather than drawing lazily
+	// inside the network's cycle loop. The network's quiescent
+	// fast-forward depends on this: the scheduler's earliest pending event
+	// time bounds the jump, so the next injection is visible via PeekTime
+	// without consuming any RNG state.
 	Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector)
 	// Name identifies the model in experiment output.
 	Name() string

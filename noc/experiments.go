@@ -18,6 +18,10 @@ type ExperimentOptions struct {
 	// Audit runs every simulation under the runtime invariant checker;
 	// the first violation panics. Output is identical either way.
 	Audit bool
+	// NoSkip disables the activity-driven simulation core (idle-router
+	// skipping and quiescent fast-forward). Output is identical either
+	// way; only speed differs.
+	NoSkip bool
 }
 
 // Experiments lists the regenerable paper artifacts ("fig3" .. "fig17",
@@ -27,7 +31,7 @@ func Experiments() []string { return exp.List() }
 // RunExperiment regenerates one paper table or figure and prints its text
 // tables to w.
 func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
 	if err != nil {
 		return err
 	}
@@ -39,7 +43,7 @@ func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
 
 // RunExperimentCSV is RunExperiment with CSV output for plotting tools.
 func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
+	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
 	if err != nil {
 		return err
 	}
@@ -60,7 +64,7 @@ func SetExperimentParallelism(j int) { exp.SetParallelism(j) }
 // SetExperimentParallelism) and returns each one's rendered output in
 // input order. Points shared between experiments simulate once.
 func RunExperiments(ids []string, o ExperimentOptions, csv bool) ([]string, error) {
-	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit})
+	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
 	if err != nil {
 		return nil, err
 	}

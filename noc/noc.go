@@ -72,6 +72,12 @@ type Config struct {
 	// The first violation panics. Results are identical with or without
 	// it; only speed differs.
 	Audit bool
+
+	// NoSkip disables the activity-driven simulation core: idle routers
+	// tick every cycle and quiescent stretches execute cycle by cycle, as
+	// the pre-optimization simulator did. A debugging escape hatch —
+	// results are identical with or without it; only speed differs.
+	NoSkip bool
 }
 
 // DefaultConfig returns the paper's experimental platform: an 8x8 mesh of
@@ -120,6 +126,7 @@ func (c Config) lower() (network.Config, error) {
 	cfg.Link.FreqTransitionCycles = c.FreqTransitionCycles
 	cfg.Seed = c.Seed
 	cfg.Audit.Enabled = c.Audit
+	cfg.NoSkip = c.NoSkip
 	switch c.Policy {
 	case PolicyHistory, "":
 		cfg.Policy = network.PolicyHistory
@@ -316,6 +323,40 @@ func (n *Network) AuditStats() (s AuditStats, ok bool) {
 	}
 	st := a.Stats()
 	return AuditStats{Scans: st.Scans, Checks: st.Checks, Violations: st.Violations}, true
+}
+
+// SkipStats summarizes the activity-driven core's work avoidance over the
+// network's lifetime.
+type SkipStats struct {
+	// CyclesExecuted ran through the full per-cycle step; CyclesFastForwarded
+	// were jumped over while the network was quiescent, in FastForwards
+	// distinct jumps.
+	CyclesExecuted      int64
+	CyclesFastForwarded int64
+	FastForwards        int64
+	// RouterTicks were performed; RouterTicksElided are the ticks the
+	// always-tick baseline would have made but the active list or a
+	// fast-forward skipped. ElisionRatio is elided / (ticks + elided).
+	RouterTicks       int64
+	RouterTicksElided int64
+	ElisionRatio      float64
+	// ActiveHist[k] counts executed cycles that ticked exactly k routers.
+	ActiveHist []int64
+}
+
+// SkipStats reports the activity-driven core's skip counters. With
+// Config.NoSkip the elision counters stay zero.
+func (n *Network) SkipStats() SkipStats {
+	s := n.inner.SkipStats()
+	return SkipStats{
+		CyclesExecuted:      s.CyclesExecuted,
+		CyclesFastForwarded: s.CyclesFastForwarded,
+		FastForwards:        s.FastForwards,
+		RouterTicks:         s.RouterTicks,
+		RouterTicksElided:   s.RouterTicksElided,
+		ElisionRatio:        s.ElisionRatio(),
+		ActiveHist:          s.ActiveHist,
+	}
 }
 
 // LevelHistogram reports, for each DVS level, how many links currently
