@@ -9,7 +9,9 @@
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
 #   make bench   # end-to-end Step + scheduler + packet-alloc benchmarks;
 #                # set BENCH_COUNT=10 for benchstat-ready samples
-#   make bench-json # regenerate the committed BENCH_pr3.json trajectory
+#   make bench-json # regenerate the committed BENCH_pr4.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr3.json;
+#                # fails on a >10% ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
 #
 # `make short` skips the long simulations (testing.Short()); run `make test`
@@ -27,7 +29,7 @@ RACE_FAST = ./internal/sim ./internal/stats ./noc ./internal/network
 # Repetitions for `make bench`; benchstat wants >= 10 samples.
 BENCH_COUNT ?= 1
 
-.PHONY: check vet build test short race race-fast fuzz bench bench-json golden
+.PHONY: check vet build test short race race-fast fuzz bench bench-json bench-diff golden
 
 check: vet build short race-fast fuzz
 
@@ -65,7 +67,10 @@ bench:
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+
+bench-diff:
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json -baseline BENCH_pr3.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

@@ -131,7 +131,7 @@ func BenchmarkFiguresParallel(b *testing.B) { benchFigures(b, 0) }
 // BenchmarkStepLowLoad measures router-cycle throughput at a near-idle
 // operating point (rate 0.05), where the activity-driven core elides almost
 // every router tick. Compare against BenchmarkStepLowLoadNoSkip for the
-// speedup; cmd/benchjson records both in BENCH_pr3.json.
+// speedup; cmd/benchjson records both in BENCH_pr4.json.
 func BenchmarkStepLowLoad(b *testing.B) { bench.Step(b, bench.LowLoadRate, false) }
 
 // BenchmarkStepLowLoadNoSkip is the same point on the always-tick path.
@@ -172,8 +172,8 @@ func BenchmarkRouterTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	r.RouteFn = func(*flow.Packet) []routing.Candidate {
-		return []routing.Candidate{{Port: 2, VCs: []int{0, 1}}}
+	r.RouteFn = func(_ *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+		return append(buf, routing.MaskCandidate{Port: 2, VCMask: 0b11})
 	}
 	pkt := flow.NewPacket(1, 0, 1, 0, -1)
 	refill := func(now sim.Time) {

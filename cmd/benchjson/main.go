@@ -3,10 +3,17 @@
 // activity-driven core on and off) plus the scheduler and packet-alloc
 // micro-benchmarks — and writes the results as machine-readable JSON.
 //
-//	benchjson -out BENCH_pr3.json
+//	benchjson -out BENCH_pr4.json
+//	benchjson -baseline BENCH_pr3.json                     # run, then diff
+//	benchjson -in BENCH_pr4.json -baseline BENCH_pr3.json  # diff two files
 //
-// The committed BENCH_pr3.json pins this PR's measured curve so future
+// The committed BENCH_pr4.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
+//
+// With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
+// printed and the exit status is 1 when any benchmark regressed by more
+// than 10% — informational on CI (continue-on-error), a hard gate for
+// local use.
 package main
 
 import (
@@ -54,12 +61,15 @@ type summary struct {
 }
 
 // summaryNote qualifies the speedup figure: the -noskip baseline in this
-// binary already carries the PR's router micro-optimizations, so the
+// binary already carries the PR's datapath optimizations, so the
 // comparison understates the end-to-end win over the pre-change tree.
 const summaryNote = "low_load_speedup_x compares against -noskip in the same binary, which " +
-	"already includes this PR's router micro-optimizations; measured against the " +
-	"pre-change commit the end-to-end low-load improvement is larger (6.8us/op -> " +
-	"~1.4us/op, ~4.5-5x, on the reference host)."
+	"already includes this PR's zero-alloc datapath; diff against the committed " +
+	"BENCH_pr3.json (benchjson -baseline BENCH_pr3.json) for the cross-PR trajectory."
+
+// regressionThreshold is the fractional slowdown (ns/op) or allocation
+// growth (allocs/op) above which a benchmark counts as regressed.
+const regressionThreshold = 0.10
 
 func measure(name string, fn func(b *testing.B)) result {
 	r := testing.Benchmark(fn)
@@ -75,17 +85,93 @@ func measure(name string, fn func(b *testing.B)) result {
 	}
 }
 
-func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output file (- for stdout)")
-	flag.Parse()
-
-	results := []result{
+func runAll() []result {
+	return []result{
 		measure("StepLowLoad", func(b *testing.B) { bench.Step(b, bench.LowLoadRate, false) }),
 		measure("StepLowLoadNoSkip", func(b *testing.B) { bench.Step(b, bench.LowLoadRate, true) }),
 		measure("StepSaturation", func(b *testing.B) { bench.Step(b, bench.SaturationRate, false) }),
 		measure("StepSaturationNoSkip", func(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }),
 		measure("SchedulerPushPop", bench.SchedulerPushPop),
 		measure("PacketAlloc", bench.PacketAlloc),
+	}
+}
+
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diff prints per-benchmark deltas against a baseline report and reports
+// whether any benchmark regressed beyond the threshold. Benchmarks absent
+// from the baseline are listed as new and never count as regressions.
+func diff(base report, cur []result) (regressed bool) {
+	byName := map[string]result{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("%-24s %14s %14s %8s %16s %6s\n",
+		"benchmark", "base ns/op", "now ns/op", "delta", "allocs/op", "flag")
+	for _, now := range cur {
+		b, ok := byName[now.Name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.1f %8s %16s %6s\n",
+				now.Name, "-", now.NsPerOp, "-", fmt.Sprintf("- -> %d", now.AllocsPerOp), "new")
+			continue
+		}
+		nsPct := 0.0
+		if b.NsPerOp > 0 {
+			nsPct = (now.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		// Allocation regressions: from a zero baseline any allocation is a
+		// regression (the ratio is undefined and the zero is load-bearing);
+		// otherwise the same fractional threshold as time.
+		allocRegressed := false
+		if b.AllocsPerOp == 0 {
+			allocRegressed = now.AllocsPerOp > 0
+		} else {
+			allocRegressed = float64(now.AllocsPerOp-b.AllocsPerOp)/float64(b.AllocsPerOp) > regressionThreshold
+		}
+		mark := ""
+		if nsPct > regressionThreshold || allocRegressed {
+			mark = "REGR"
+			regressed = true
+		} else if nsPct < -regressionThreshold {
+			mark = "ok+"
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %+7.1f%% %16s %6s\n",
+			now.Name, b.NsPerOp, now.NsPerOp, 100*nsPct,
+			fmt.Sprintf("%d -> %d", b.AllocsPerOp, now.AllocsPerOp), mark)
+	}
+	return regressed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr4.json", "output file (- for stdout)")
+	in := flag.String("in", "", "read results from this report instead of running benchmarks")
+	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
+	flag.Parse()
+
+	var results []result
+	if *in != "" {
+		rep, err := readReport(*in)
+		if err != nil {
+			fatal(err)
+		}
+		results = rep.Results
+	} else {
+		results = runAll()
 	}
 
 	byName := map[string]result{}
@@ -109,18 +195,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%\n",
 		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *in == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if diff(base, results) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% against %s\n",
+				100*regressionThreshold, *baseline)
+			os.Exit(1)
+		}
 	}
 }

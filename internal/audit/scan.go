@@ -60,9 +60,10 @@ func (c *Checker) scanConservation(cycle int64) {
 			}
 		}
 		for port, out := range r.Outputs {
-			for _, e := range out.Tx() {
+			port := port
+			out.ForEachTx(func(e router.TxEntry) {
 				count(node, port, e.Flit().VC, e.Flit())
-			}
+			})
 		}
 	}
 
@@ -98,9 +99,9 @@ func (c *Checker) scanConservation(cycle int64) {
 		for vc := range c.perVCTx {
 			c.perVCTx[vc] = 0
 		}
-		for _, e := range ch.out.Tx() {
+		ch.out.ForEachTx(func(e router.TxEntry) {
 			c.perVCTx[e.Flit().VC]++
-		}
+		})
 		for vc := 0; vc < ch.out.VCs(); vc++ {
 			vc := vc
 			credits := ch.out.Credits(vc)
@@ -120,9 +121,9 @@ func (c *Checker) scanConservation(cycle int64) {
 	// sends a flit off the edge, so full credits and an empty pipeline.
 	for i := range c.edges {
 		e := &c.edges[i]
-		c.check(len(e.out.Tx()) == 0, func() Violation {
+		c.check(e.out.QueuedTx() == 0, func() Violation {
 			return Violation{Rule: "credit-conservation", Cycle: cycle, Node: e.node, Port: e.port, VC: -1,
-				Msg: fmt.Sprintf("%d flits queued on an unconnected mesh-edge port", len(e.out.Tx()))}
+				Msg: fmt.Sprintf("%d flits queued on an unconnected mesh-edge port", e.out.QueuedTx())}
 		})
 		for vc := 0; vc < e.out.VCs(); vc++ {
 			vc := vc
@@ -221,8 +222,8 @@ func (c *Checker) scanRouters(cycle int64) {
 			}
 			// The output pipeline drains in readiness order.
 			var lastReady sim.Time
-			for i, e := range out.Tx() {
-				i, e := i, e
+			for i := 0; i < out.QueuedTx(); i++ {
+				i, e := i, out.TxAt(i)
 				c.check(i == 0 || e.ReadyAt() >= lastReady, func() Violation {
 					return Violation{Rule: "vc-legality", Cycle: cycle, Node: node, Port: port, VC: e.Flit().VC,
 						Msg: fmt.Sprintf("output pipeline out of order: entry %d ready at %v before its predecessor at %v", i, e.ReadyAt(), lastReady)}

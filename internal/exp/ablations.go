@@ -140,9 +140,8 @@ func runAblRouterPower(o Options) []Table {
 	measureOne := func(policy network.PolicyKind) (coreW, linkW float64) {
 		withSimSlot(func() {
 			s := defaultSpec(2.0, policy)
-			n, m := s.build(o)
+			n, m, horizon := s.build(o, warm+meas+1)
 			model := power.NewRouterEnergyModel(n.Table, 4, n.Cfg.RouterPeriod)
-			horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
 			n.Launch(m, horizon)
 			n.Run(warm)
 			base := make([]router.Activity, len(n.Routers))

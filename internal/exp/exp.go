@@ -204,8 +204,22 @@ func defaultSpec(rate float64, policy network.PolicyKind) spec {
 	}
 }
 
-// build constructs the network and traffic model for a spec.
-func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
+// noTraceMemo, when set, disables the shared-trace path so every run
+// regenerates its workload live. It exists only for the equivalence test
+// proving memoized and live runs are byte-identical; callers must
+// ResetCaches around toggling it, since cache keys do not include it.
+var noTraceMemo bool
+
+// build constructs the network and traffic model for a spec, plus the
+// scheduler horizon for the caller's Launch. horizonCycles is the number
+// of router cycles the caller will run (plus slack); the model's event
+// chains are armed against exactly this horizon, so it participates in
+// trace identity. When the two-level workload at this operating point fits
+// the trace budget, the returned model is a memoized arrival trace shared
+// read-only across every sweep at the same (seed, rate, horizon) — policy
+// ablations then pay for workload generation once instead of per variant.
+// Oversized points fall back to the live model.
+func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.Model, sim.Time) {
 	cfg := network.NewConfig()
 	cfg.Policy = s.policy
 	cfg.Routing = s.routing
@@ -244,11 +258,17 @@ func (s spec) build(o Options) (*network.Network, *traffic.TwoLevel) {
 	if p.Seed == 0 {
 		p.Seed = o.seed()
 	}
+	horizon := sim.Time(horizonCycles) * cfg.RouterPeriod
+	if !noTraceMemo {
+		if tr := traffic.SharedTwoLevelTrace(p, n.Topo, horizon); tr != nil {
+			return n, tr, horizon
+		}
+	}
 	m, err := traffic.NewTwoLevel(p, n.Topo)
 	if err != nil {
 		panic(err)
 	}
-	return n, m
+	return n, m, horizon
 }
 
 // run executes warmup + measurement and returns the results. Results are
@@ -260,8 +280,7 @@ func run(s spec, o Options) network.Results {
 	return runCache.do(key, func() (r network.Results) {
 		withSimSlot(func() {
 			warm, meas := o.budget()
-			n, m := s.build(o)
-			horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+			n, m, horizon := s.build(o, warm+meas+1)
 			n.Launch(m, horizon)
 			n.Run(warm)
 			n.BeginMeasurement()

@@ -56,7 +56,8 @@ func measureOneRate(rate float64, o Options) (lu, bu, ba *stats.Histogram) {
 		ba = stats.NewHistogram(0, 100, 10) // cycles in buffer
 
 		s := defaultSpec(rate, network.PolicyNone)
-		n, m := s.build(o)
+		warm, meas := o.budget()
+		n, m, horizon := s.build(o, warm+meas+1)
 		// The tracked link: the +x channel out of central node (3,3), and
 		// the input buffers downstream of it at node (4,3).
 		src := n.Topo.NodeAt(3, 3)
@@ -65,8 +66,6 @@ func measureOneRate(rate float64, o Options) (lu, bu, ba *stats.Histogram) {
 		outPort := n.Routers[src].Outputs[n.Topo.PortFor(0, topology.Plus)]
 		inPort := n.Routers[dst].Inputs[n.Topo.PortFor(0, topology.Minus)]
 
-		warm, meas := o.budget()
-		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
 		n.Launch(m, horizon)
 		window := sim.Duration(measureWindow) * n.Cfg.RouterPeriod
 		measuring := false
@@ -151,9 +150,9 @@ func runFig8(o Options) []Table {
 	var n *network.Network
 	var counts []int64
 	withSimSlot(func() {
-		var m *traffic.TwoLevel
-		n, m = s.build(o)
-		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+		var m traffic.Model
+		var horizon sim.Time
+		n, m, horizon = s.build(o, warm+meas+1)
 		counts = make([]int64, n.Topo.Nodes())
 		counting := false
 		m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
@@ -204,8 +203,7 @@ func runFig9(o Options) []Table {
 	nbins := int(meas/binCycles) + 1
 	var perNode [][]float64
 	withSimSlot(func() {
-		n, m := s.build(o)
-		horizon := sim.Time(warm+meas+1) * n.Cfg.RouterPeriod
+		n, m, horizon := s.build(o, warm+meas+1)
 		perNode = make([][]float64, n.Topo.Nodes())
 		for i := range perNode {
 			perNode[i] = make([]float64, nbins)

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/network"
+	"repro/internal/traffic"
 )
 
 // pool gates the number of simulations actually executing at once. Fan-out
@@ -224,6 +225,7 @@ var measureCache = newSFCache[Options, *measureSet](16)
 func ResetCaches() {
 	runCache.reset()
 	measureCache.reset()
+	traffic.ResetTraceCache()
 }
 
 // sweepSpecs simulates every spec across the worker pool and returns

@@ -31,7 +31,9 @@ func renderIDs(t *testing.T, ids []string, o Options) string {
 // regenerating fig10 and fig13 at three distinct parallelism levels, each
 // from a cold cache, produces byte-identical tables. Every simulation
 // point seeds its own RNG streams and builds its own network, so execution
-// order cannot leak into results.
+// order cannot leak into results. Since the shared-trace path is on by
+// default, this also proves concurrent sweeps racing on the trace cache
+// (singleflight capture, shared read-only replay) stay deterministic.
 func TestParallelDeterminism(t *testing.T) {
 	tinyBudget = true
 	defer func() { tinyBudget = false; ResetCaches() }()
@@ -51,6 +53,28 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Errorf("-j %d output differs from sequential output\n--- j=%d ---\n%s\n--- j=1 ---\n%s",
 				j, j, got, sequential)
 		}
+	}
+}
+
+// TestTraceMemoEquivalence proves the memoized-trace fast path changes
+// nothing observable: regenerating the same experiments with trace sharing
+// disabled (every point regenerates its workload live) produces
+// byte-identical tables. fig10/fig13 sweep several policies over shared
+// operating points, so the memoized run exercises real trace reuse.
+func TestTraceMemoEquivalence(t *testing.T) {
+	tinyBudget = true
+	defer func() { tinyBudget = false; noTraceMemo = false; ResetCaches() }()
+
+	ids := []string{"fig10", "fig13"}
+	o := Options{Quick: true}
+
+	noTraceMemo = false
+	memoized := renderIDs(t, ids, o)
+	noTraceMemo = true
+	live := renderIDs(t, ids, o)
+	if memoized != live {
+		t.Errorf("memoized traces change results\n--- memoized ---\n%s\n--- live ---\n%s",
+			memoized, live)
 	}
 }
 

@@ -67,6 +67,10 @@ type Packet struct {
 	// wraparound channel. Only meaningful on tori.
 	LastDim int
 	Wrapped bool
+
+	// block is the pool block backing this packet, nil for heap-allocated
+	// packets (see Pool).
+	block *pblock
 }
 
 // NewPacket returns a packet with initialized routing state.

@@ -1,0 +1,75 @@
+package flow
+
+import "repro/internal/sim"
+
+// pblock is one pooled packet-plus-flit-train block: the packet, its five
+// flits, and the pointer slice handed to the injector, all in one
+// allocation. Blocks cycle through a free list owned by a Pool.
+type pblock struct {
+	pkt   Packet
+	flits [FlitsPerPacket]Flit
+	ptrs  [FlitsPerPacket]*Flit
+	next  *pblock
+}
+
+// Pool recycles packet/flit blocks so steady-state injection does not
+// allocate: a delivered packet's block — returned via Recycle once the
+// simulation drops its last reference — backs a future injection. The
+// zero value is ready to use; a nil-block packet (from NewPacket) degrades
+// gracefully to the heap path. Pools are confined to one network and are
+// not safe for concurrent use, matching the one-goroutine-per-simulation
+// execution model.
+type Pool struct {
+	free *pblock
+}
+
+// NewPacket returns an initialized packet, reusing a recycled block when
+// one is available.
+func (pl *Pool) NewPacket(id int64, src, dst int, created sim.Time, task int64) *Packet {
+	b := pl.free
+	if b == nil {
+		b = &pblock{}
+		for i := range b.ptrs {
+			b.ptrs[i] = &b.flits[i]
+		}
+	} else {
+		pl.free = b.next
+		b.next = nil
+	}
+	b.pkt = Packet{ID: id, Src: src, Dst: dst, Created: created, Task: task, LastDim: -1, block: b}
+	return &b.pkt
+}
+
+// Flits returns the flit train for a pooled packet, re-initializing the
+// block's flits in place; for non-pooled packets it falls back to
+// NewPacketFlits.
+func (pl *Pool) Flits(p *Packet) []*Flit {
+	b := p.block
+	if b == nil {
+		return NewPacketFlits(p)
+	}
+	for i := range b.flits {
+		k := Body
+		switch i {
+		case 0:
+			k = Head
+		case FlitsPerPacket - 1:
+			k = Tail
+		}
+		b.flits[i] = Flit{Packet: p, Kind: k, Seq: i}
+	}
+	return b.ptrs[:]
+}
+
+// Recycle returns a delivered packet's block to the pool. The caller must
+// guarantee no live references remain to the packet or its flits —
+// recycling while a flit is still buffered or in flight would alias two
+// packets onto one block. Non-pooled packets are ignored.
+func (pl *Pool) Recycle(p *Packet) {
+	b := p.block
+	if b == nil {
+		return
+	}
+	b.next = pl.free
+	pl.free = b
+}

@@ -88,6 +88,12 @@ type Config struct {
 	// tests, so the only observable difference is speed.
 	NoSkip bool
 
+	// RefAllocators selects the routers' retained full-scan reference
+	// allocator stages instead of the incremental work-list path. Another
+	// debugging escape hatch: the two paths are proven byte-identical by
+	// the equivalence tests, so the only observable difference is speed.
+	RefAllocators bool
+
 	// Audit configures the runtime invariant checker (internal/audit).
 	// Disabled by default; when Audit.Enabled, the platform verifies flit
 	// and credit conservation, VC state-machine legality, DVS link
@@ -151,11 +157,42 @@ type portCtl struct {
 
 // injector streams packets from a node's source queue into the local input
 // port, one flit per router cycle, keeping each packet's flits contiguous
-// on one VC.
+// on one VC. The queue is a power-of-two ring (head/count over a reused
+// backing array) so saturated sources — whose queues never drain — do not
+// churn slice backing arrays.
 type injector struct {
 	queue   []*flow.Packet
+	qHead   int
+	qLen    int
 	current []*flow.Flit // remaining flits of the packet being injected
 	vc      int
+}
+
+// push appends one packet to the source queue ring.
+func (inj *injector) push(p *flow.Packet) {
+	if inj.qLen == len(inj.queue) {
+		size := 2 * len(inj.queue)
+		if size == 0 {
+			size = 16
+		}
+		grown := make([]*flow.Packet, size)
+		for i := 0; i < inj.qLen; i++ {
+			grown[i] = inj.queue[(inj.qHead+i)&(len(inj.queue)-1)]
+		}
+		inj.queue = grown
+		inj.qHead = 0
+	}
+	inj.queue[(inj.qHead+inj.qLen)&(len(inj.queue)-1)] = p
+	inj.qLen++
+}
+
+// pop removes and returns the front packet; the queue must be non-empty.
+func (inj *injector) pop() *flow.Packet {
+	p := inj.queue[inj.qHead]
+	inj.queue[inj.qHead] = nil
+	inj.qHead = (inj.qHead + 1) & (len(inj.queue) - 1)
+	inj.qLen--
+	return p
 }
 
 // ringSize is the span, in router cycles, of the short-delay message ring.
@@ -199,6 +236,12 @@ type Network struct {
 	injectors []*injector
 	nextPkt   int64
 	cycle     int64
+
+	// pool recycles packet/flit blocks: a delivered packet's storage backs
+	// a future injection, so steady-state traffic allocates nothing.
+	// Recycling is skipped while an OnDeliver observer is attached, since
+	// the observer may legitimately retain delivered packets.
+	pool flow.Pool
 
 	// Measurement state (reset by BeginMeasurement).
 	Lat       *stats.Latency
@@ -360,9 +403,10 @@ func New(cfg Config) (*Network, error) {
 			return nil, err
 		}
 		id := id
-		r.RouteFn = func(p *flow.Packet) []routing.Candidate {
+		r.Ref = cfg.RefAllocators
+		r.RouteFn = func(p *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
 			st := routing.State{LastDim: p.LastDim, Wrapped: p.Wrapped}
-			return n.algo.Route(topo, id, p.Dst, cfg.Router.VCs, st)
+			return n.algo.RouteMask(topo, id, p.Dst, cfg.Router.VCs, st, buf)
 		}
 		n.Routers = append(n.Routers, r)
 		n.injectors = append(n.injectors, &injector{})
@@ -524,8 +568,8 @@ func (n *Network) Inject(src, dst int, now sim.Time, task int64) {
 		return
 	}
 	n.nextPkt++
-	p := flow.NewPacket(n.nextPkt, src, dst, now, task)
-	n.injectors[src].queue = append(n.injectors[src].queue, p)
+	p := n.pool.NewPacket(n.nextPkt, src, dst, now, task)
+	n.injectors[src].push(p)
 	n.markInject(src)
 	n.injected++
 	n.InFlight++
@@ -764,7 +808,7 @@ func (n *Network) injectFlits(now sim.Time) {
 			word &= word - 1
 			inj := n.injectors[node]
 			n.injectOne(node, inj, now)
-			if !n.noskip && len(inj.current) == 0 && len(inj.queue) == 0 {
+			if !n.noskip && len(inj.current) == 0 && inj.qLen == 0 {
 				n.injMask[w] &^= 1 << (node & 63)
 				n.injCount--
 			}
@@ -776,7 +820,7 @@ func (n *Network) injectFlits(now sim.Time) {
 func (n *Network) injectOne(node int, inj *injector, now sim.Time) {
 	in := n.Routers[node].Inputs[topology.LocalPort]
 	if len(inj.current) == 0 {
-		if len(inj.queue) == 0 {
+		if inj.qLen == 0 {
 			return
 		}
 		// Pick the VC with the most free space for the next packet.
@@ -789,10 +833,9 @@ func (n *Network) injectOne(node int, inj *injector, now sim.Time) {
 		if best < 0 || bestFree < 1 {
 			return
 		}
-		p := inj.queue[0]
-		inj.queue = inj.queue[1:]
+		p := inj.pop()
 		p.Injected = now
-		inj.current = flow.NewPacketFlits(p)
+		inj.current = n.pool.Flits(p)
 		inj.vc = best
 		if n.aud != nil {
 			n.aud.OnSourceDequeue(p, n.cycle)
@@ -835,7 +878,7 @@ func (n *Network) transmitNode(node int, now sim.Time) {
 		if l == nil {
 			continue
 		}
-		front := out.Tx()[0]
+		front := out.TxFront()
 		if front.ReadyAt() > now || !l.CanSend(now) {
 			continue
 		}
@@ -887,7 +930,7 @@ func (n *Network) ejectNode(r *router.Router, now sim.Time) {
 		return
 	}
 	out := r.Outputs[topology.LocalPort]
-	for len(out.Tx()) > 0 && out.Tx()[0].ReadyAt() <= now {
+	for out.QueuedTx() > 0 && out.TxFront().ReadyAt() <= now {
 		e := out.PopTx()
 		f := e.Flit()
 		if n.aud != nil {
@@ -910,6 +953,12 @@ func (n *Network) ejectNode(r *router.Router, now sim.Time) {
 		}
 		if n.OnDeliver != nil {
 			n.OnDeliver(p)
+		} else {
+			// The last reference to the packet and its flits just died (the
+			// audit ledgers key by ID and dropped theirs in OnDeliver, and
+			// trace/latency records copy values), so the block can back a
+			// future injection.
+			n.pool.Recycle(p)
 		}
 	}
 }

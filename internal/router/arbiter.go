@@ -5,24 +5,42 @@
 // 21364-style router), and credit-based flow control.
 package router
 
-// arbiter is a round-robin arbiter over n requesters, the arbitration
-// primitive the paper's separable allocators are built from.
-type arbiter struct {
-	n    int
-	last int
+import "math/bits"
+
+// The round-robin arbiters the separable allocators are built from operate
+// directly on request bitmasks: a grant is the lowest set bit strictly
+// above the previous grant, wrapping to the lowest set bit overall. This
+// is exactly the classic rotating scan (previous+1, previous+2, ..,
+// wrapping through previous) in two TrailingZeros instructions, and like
+// the scan it must only be invoked — and only updates the rotation
+// pointer — when at least one request bit is set.
+
+// pick32 grants one requester from a non-empty 32-wide request mask,
+// rotating priority from just past *last, and advances *last to the grant.
+func pick32(requests uint32, last *int32) int32 {
+	// Bits strictly above *last; the subtraction underflows to all-ones
+	// when *last is the top bit, correctly selecting the wrap path.
+	above := requests &^ (uint32(2)<<uint32(*last) - 1)
+	var c int32
+	if above != 0 {
+		c = int32(bits.TrailingZeros32(above))
+	} else {
+		c = int32(bits.TrailingZeros32(requests))
+	}
+	*last = c
+	return c
 }
 
-func newArbiter(n int) *arbiter { return &arbiter{n: n, last: n - 1} }
-
-// pick grants one of the requesting indices, rotating priority from just
-// past the previous grant. It returns -1 when nothing requests.
-func (a *arbiter) pick(requests []bool) int {
-	for i := 1; i <= a.n; i++ {
-		c := (a.last + i) % a.n
-		if requests[c] {
-			a.last = c
-			return c
-		}
+// pick64 is pick32 over 64-wide request masks (the VA stage arbitrates
+// among all Ports*VCs input VCs).
+func pick64(requests uint64, last *int32) int32 {
+	above := requests &^ (uint64(2)<<uint32(*last) - 1)
+	var c int32
+	if above != 0 {
+		c = int32(bits.TrailingZeros64(above))
+	} else {
+		c = int32(bits.TrailingZeros64(requests))
 	}
-	return -1
+	*last = c
+	return c
 }

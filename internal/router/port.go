@@ -3,7 +3,6 @@ package router
 import (
 	"repro/internal/flow"
 	"repro/internal/link"
-	"repro/internal/routing"
 	"repro/internal/sim"
 )
 
@@ -23,47 +22,14 @@ const (
 	vcActive                   // output VC held; flits stream through SA
 )
 
-// inputVC is one virtual channel of an input port.
-type inputVC struct {
-	buf   []bufEntry
-	stage vcStage
-
-	// Route computation result (valid in vcWaitingVC).
-	candidates []routing.Candidate
-
-	// Allocation result (valid in vcActive).
-	outPort, outVC int
-}
-
-func (v *inputVC) empty() bool { return len(v.buf) == 0 }
-
-func (v *inputVC) front() *bufEntry {
-	if len(v.buf) == 0 {
-		return nil
-	}
-	return &v.buf[0]
-}
-
-func (v *inputVC) pop() bufEntry {
-	e := v.buf[0]
-	v.buf[0] = bufEntry{}
-	v.buf = v.buf[1:]
-	return e
-}
-
-// InputPort holds the per-VC buffers of one router input and the
-// instrumentation behind the paper's buffer-age measure.
+// InputPort is the externally visible handle of one router input. The hot
+// per-VC state — buffer rings, pipeline stages, allocation results — lives
+// in the owning Router's dense struct-of-arrays (see Router), indexed by
+// the global VC id port*VCs+vc; the handle carries only the per-port
+// plumbing: the upstream credit path and the buffer-age instrumentation.
 type InputPort struct {
-	vcs      []*inputVC
-	bufPerVC int
-
-	// occupied points at the router's per-port buffered-flit counter
-	// (Router.inOcc): the allocator stages scan that dense array to skip
-	// idle ports without touching each InputPort's cache line. total
-	// points at the router's whole-router counter behind the O(1) Busy
-	// predicate.
-	occupied *int
-	total    *int
+	r    *Router
+	port int
 
 	// creditFn returns one credit to the upstream output port for vc; the
 	// network installs it with the reverse channel's latency baked in. Nil
@@ -79,32 +45,43 @@ type InputPort struct {
 	Writes int64
 }
 
-func newInputPort(vcs, bufPerVC int, occupied, total *int) *InputPort {
-	p := &InputPort{vcs: make([]*inputVC, vcs), bufPerVC: bufPerVC, occupied: occupied, total: total}
-	for i := range p.vcs {
-		p.vcs[i] = &inputVC{}
-	}
-	return p
+// Free reports the free buffer slots of one VC.
+func (p *InputPort) Free(vc int) int {
+	return p.r.bufPerVC - int(p.r.inCount[p.port*p.r.vcs+vc])
 }
 
-// Free reports the free buffer slots of one VC.
-func (p *InputPort) Free(vc int) int { return p.bufPerVC - len(p.vcs[vc].buf) }
-
 // Occupied reports the total buffered flits across VCs.
-func (p *InputPort) Occupied() int { return *p.occupied }
+func (p *InputPort) Occupied() int { return p.r.inOcc[p.port] }
 
 // Arrive buffers a flit on its virtual channel at time now. The upstream
 // router's credit accounting guarantees space; overflow is a protocol bug
-// and panics.
+// and panics. A flit landing on an empty VC is a state transition the
+// incremental allocators track: it arms the RC work-list (idle VC, new
+// head at the front) or the SA candidate mask (active VC, stream resumes).
 func (p *InputPort) Arrive(f *flow.Flit, now sim.Time) {
-	v := p.vcs[f.VC]
-	if len(v.buf) >= p.bufPerVC {
+	r := p.r
+	g := p.port*r.vcs + f.VC
+	cnt := int(r.inCount[g])
+	if cnt >= r.bufPerVC {
 		panic("router: input VC overflow — credit protocol violated")
 	}
-	v.buf = append(v.buf, bufEntry{flit: f, arrivedAt: now})
-	*p.occupied++
-	*p.total++
+	slot := cnt + int(r.inHead[g])
+	if slot >= r.bufPerVC {
+		slot -= r.bufPerVC
+	}
+	r.inBuf[g*r.bufPerVC+slot] = bufEntry{flit: f, arrivedAt: now}
+	r.inCount[g] = int32(cnt + 1)
+	r.inOcc[p.port]++
+	r.bufFlits++
 	p.Writes++
+	if cnt == 0 {
+		switch r.inStage[g] {
+		case vcIdle:
+			r.rcPush(g)
+		case vcActive:
+			r.saOn(g)
+		}
+	}
 }
 
 // TakeAgeWindow returns (sum of residencies, departures) accumulated since
@@ -113,13 +90,6 @@ func (p *InputPort) TakeAgeWindow() (sim.Duration, int) {
 	r, n := p.windowResidency, p.windowDeparted
 	p.windowResidency, p.windowDeparted = 0, 0
 	return r, n
-}
-
-// outVCState tracks wormhole ownership of one output virtual channel.
-type outVCState struct {
-	held         bool
-	inPort, inVC int
-	credits      int
 }
 
 // TxEntry is a flit that has traversed the crossbar and is progressing
@@ -136,25 +106,31 @@ func (e TxEntry) Flit() *flow.Flit { return e.flit }
 // the link.
 func (e TxEntry) ReadyAt() sim.Time { return e.readyAt }
 
-// OutputPort holds one router output: per-VC credit counters for the
-// downstream input buffers, the post-crossbar pipeline queue, the DVS link
-// (nil for the ejection port), and the occupancy integral behind the
-// paper's buffer-utilization measure.
+// OutputPort is the externally visible handle of one router output. The
+// per-VC credit counters and wormhole ownership live in the owning
+// Router's dense arrays; the handle keeps the per-port machinery: the DVS
+// link (nil for the ejection port), the post-crossbar pipeline queue as a
+// fixed ring, and the occupancy integral behind the paper's
+// buffer-utilization measure.
 type OutputPort struct {
-	vcs  []*outVCState
+	r    *Router
+	port int
+
 	Link *link.DVSLink // nil for ejection or unconnected ports
 
 	infiniteCredits bool // ejection port: the sink always accepts
 
-	tx []TxEntry
+	// tx is the output pipeline as a power-of-two ring (head/count over a
+	// reused backing array), grown only when the queue reaches a new
+	// high-water mark — steady-state traversal does no slice appends.
+	tx      []TxEntry
+	txHead  int
+	txCount int
 	// txTotal points at the owning router's queued-tx counter for this
 	// port class (link ports vs the local ejection port), so the network
-	// can skip the whole transmit or eject phase in one compare. txMask is
-	// the router's bitmask of ports with queued tx (bit = 1<<port): the
-	// transmit phase iterates its set bits instead of scanning every
-	// OutputPort for emptiness.
+	// can skip the whole transmit or eject phase in one compare. portBit
+	// is this port's bit in the router's queued-tx port mask.
 	txTotal *int
-	txMask  *uint32
 	portBit uint32
 
 	// Downstream buffer occupancy (capacity - credits) integrated over
@@ -165,24 +141,9 @@ type OutputPort struct {
 	lastOccAt   sim.Time
 }
 
-func newOutputPort(vcs, bufPerVC, port int, infinite bool, txTotal *int, txMask *uint32) *OutputPort {
-	p := &OutputPort{
-		vcs:             make([]*outVCState, vcs),
-		infiniteCredits: infinite,
-		totalSlots:      vcs * bufPerVC,
-		txTotal:         txTotal,
-		txMask:          txMask,
-		portBit:         1 << uint(port),
-	}
-	for i := range p.vcs {
-		p.vcs[i] = &outVCState{credits: bufPerVC}
-	}
-	return p
-}
-
 // hasCredit reports whether one downstream slot is available on vc.
 func (p *OutputPort) hasCredit(vc int) bool {
-	return p.infiniteCredits || p.vcs[vc].credits > 0
+	return p.infiniteCredits || p.r.outCredits[p.port*p.r.vcs+vc] > 0
 }
 
 // takeCredit consumes one downstream slot on vc at time now.
@@ -190,17 +151,20 @@ func (p *OutputPort) takeCredit(vc int, now sim.Time) {
 	if p.infiniteCredits {
 		return
 	}
-	p.vcs[vc].credits--
+	p.r.outCredits[p.port*p.r.vcs+vc]--
 	p.noteOccupancy(now, +1)
 }
 
 // ReturnCredit restores one downstream slot on vc at time now. It is
-// exported because credits arrive via network-scheduled events.
+// exported because credits arrive via network-scheduled events. Credit
+// arrival needs no allocator work-list update: eligibility for switch
+// allocation is re-checked against the credit counters at pick time, so a
+// returned credit is visible to the very next SA stage.
 func (p *OutputPort) ReturnCredit(vc int, now sim.Time) {
 	if p.infiniteCredits {
 		return
 	}
-	p.vcs[vc].credits++
+	p.r.outCredits[p.port*p.r.vcs+vc]++
 	p.noteOccupancy(now, -1)
 }
 
@@ -227,21 +191,54 @@ func (p *OutputPort) TotalSlots() int { return p.totalSlots }
 // Occupied reports the instantaneous downstream occupancy estimate.
 func (p *OutputPort) OccupiedSlots() int { return p.occupied }
 
-// QueuedTx reports the flits waiting in the output pipeline.
-func (p *OutputPort) QueuedTx() int { return len(p.tx) }
+// pushTx appends one entry to the output pipeline ring.
+func (p *OutputPort) pushTx(e TxEntry) {
+	if p.txCount == len(p.tx) {
+		p.growTx()
+	}
+	p.tx[(p.txHead+p.txCount)&(len(p.tx)-1)] = e
+	p.txCount++
+	*p.txTotal++
+	p.r.txMask |= p.portBit
+}
 
-// Tx exposes the output pipeline queue (front first). Callers must not
-// modify it; use PopTx to consume.
-func (p *OutputPort) Tx() []TxEntry { return p.tx }
+// growTx doubles the ring, re-linearizing the queue at index 0.
+func (p *OutputPort) growTx() {
+	grown := make([]TxEntry, 2*len(p.tx))
+	for i := 0; i < p.txCount; i++ {
+		grown[i] = p.tx[(p.txHead+i)&(len(p.tx)-1)]
+	}
+	p.tx = grown
+	p.txHead = 0
+}
+
+// QueuedTx reports the flits waiting in the output pipeline.
+func (p *OutputPort) QueuedTx() int { return p.txCount }
+
+// TxFront reports the front entry; the queue must be non-empty.
+func (p *OutputPort) TxFront() TxEntry { return p.tx[p.txHead] }
+
+// TxAt reports the i-th queued entry, front first.
+func (p *OutputPort) TxAt(i int) TxEntry {
+	return p.tx[(p.txHead+i)&(len(p.tx)-1)]
+}
+
+// ForEachTx walks the queued entries front to back.
+func (p *OutputPort) ForEachTx(fn func(e TxEntry)) {
+	for i := 0; i < p.txCount; i++ {
+		fn(p.tx[(p.txHead+i)&(len(p.tx)-1)])
+	}
+}
 
 // PopTx removes and returns the front entry.
 func (p *OutputPort) PopTx() TxEntry {
-	e := p.tx[0]
-	p.tx[0] = TxEntry{}
-	p.tx = p.tx[1:]
+	e := p.tx[p.txHead]
+	p.tx[p.txHead] = TxEntry{}
+	p.txHead = (p.txHead + 1) & (len(p.tx) - 1)
+	p.txCount--
 	*p.txTotal--
-	if len(p.tx) == 0 {
-		*p.txMask &^= p.portBit
+	if p.txCount == 0 {
+		p.r.txMask &^= p.portBit
 	}
 	return e
 }
@@ -272,40 +269,55 @@ func (s VCStage) String() string {
 // structural scans; simulation code must not depend on them.
 
 // VCs reports the number of virtual channels on the port.
-func (p *InputPort) VCs() int { return len(p.vcs) }
+func (p *InputPort) VCs() int { return p.r.vcs }
 
 // BufPerVC reports the per-VC buffer capacity.
-func (p *InputPort) BufPerVC() int { return p.bufPerVC }
+func (p *InputPort) BufPerVC() int { return p.r.bufPerVC }
 
 // OccupiedVC reports the buffered flit count of one VC.
-func (p *InputPort) OccupiedVC(vc int) int { return len(p.vcs[vc].buf) }
+func (p *InputPort) OccupiedVC(vc int) int {
+	return int(p.r.inCount[p.port*p.r.vcs+vc])
+}
 
 // VCState reports the allocation state of one input VC: its pipeline
 // stage, the output (port, VC) it holds when active, and how many route
 // candidates it carries.
 func (p *InputPort) VCState(vc int) (stage VCStage, outPort, outVC, candidates int) {
-	v := p.vcs[vc]
-	return VCStage(v.stage), v.outPort, v.outVC, len(v.candidates)
+	r := p.r
+	g := p.port*r.vcs + vc
+	return VCStage(r.inStage[g]), int(r.inOutPort[g]), int(r.inOutVC[g]), int(r.candN[g])
 }
 
 // ForEachFlit walks the buffered flits of one VC front to back.
 func (p *InputPort) ForEachFlit(vc int, fn func(f *flow.Flit)) {
-	for i := range p.vcs[vc].buf {
-		fn(p.vcs[vc].buf[i].flit)
+	r := p.r
+	g := p.port*r.vcs + vc
+	base, head, cnt := g*r.bufPerVC, int(r.inHead[g]), int(r.inCount[g])
+	for i := 0; i < cnt; i++ {
+		slot := head + i
+		if slot >= r.bufPerVC {
+			slot -= r.bufPerVC
+		}
+		fn(r.inBuf[base+slot].flit)
 	}
 }
 
 // VCs reports the number of virtual channels on the port.
-func (p *OutputPort) VCs() int { return len(p.vcs) }
+func (p *OutputPort) VCs() int { return p.r.vcs }
 
 // Credits reports the downstream credit count of one VC.
-func (p *OutputPort) Credits(vc int) int { return p.vcs[vc].credits }
+func (p *OutputPort) Credits(vc int) int {
+	return int(p.r.outCredits[p.port*p.r.vcs+vc])
+}
 
 // Held reports whether one output VC is owned by a packet and, if so, the
 // input (port, VC) streaming through it.
 func (p *OutputPort) Held(vc int) (held bool, inPort, inVC int) {
-	s := p.vcs[vc]
-	return s.held, s.inPort, s.inVC
+	g := p.r.outHeldBy[p.port*p.r.vcs+vc]
+	if g < 0 {
+		return false, 0, 0
+	}
+	return true, int(g) / p.r.vcs, int(g) % p.r.vcs
 }
 
 // InfiniteCredits reports whether the port models an always-accepting sink
@@ -316,4 +328,6 @@ func (p *OutputPort) InfiniteCredits() bool { return p.infiniteCredits }
 // deliberate flow-control fault used to prove the audit's credit
 // conservation scan catches real protocol corruption. Never called by
 // simulation code.
-func (p *OutputPort) DropCreditForTest(vc int) { p.vcs[vc].credits-- }
+func (p *OutputPort) DropCreditForTest(vc int) {
+	p.r.outCredits[p.port*p.r.vcs+vc]--
+}

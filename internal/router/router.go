@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/flow"
 	"repro/internal/routing"
@@ -31,13 +32,20 @@ func NewConfig(ports int) Config {
 	return Config{Ports: ports, VCs: 2, BufPerPort: 128, PipelineDepth: 13}
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. The allocators
+// arbitrate over bitmasks — input ports and per-port VCs in 32-bit words,
+// global input VCs in a 64-bit word — so port and VC counts are bounded
+// accordingly (the paper's largest router is 7-ported with 2 VCs).
 func (c Config) Validate() error {
 	switch {
 	case c.Ports < 2:
 		return fmt.Errorf("router: need >= 2 ports, got %d", c.Ports)
+	case c.Ports > 32:
+		return fmt.Errorf("router: mask allocators support <= 32 ports, got %d", c.Ports)
 	case c.VCs < 1:
 		return fmt.Errorf("router: need >= 1 VC, got %d", c.VCs)
+	case c.Ports*c.VCs > 64:
+		return fmt.Errorf("router: mask allocators support <= 64 total VCs, got %d*%d", c.Ports, c.VCs)
 	case c.BufPerPort < c.VCs:
 		return fmt.Errorf("router: %d buffers cannot cover %d VCs", c.BufPerPort, c.VCs)
 	case c.PipelineDepth < 4:
@@ -52,6 +60,16 @@ func (c Config) BufPerVC() int { return c.BufPerPort / c.VCs }
 // Router is one pipelined virtual-channel router. The network layer owns
 // flit transport: it calls Arrive on input ports, Tick once per router
 // cycle, and drains output-port tx queues onto links.
+//
+// All hot per-VC state lives in dense struct-of-arrays indexed by the
+// global VC id g = port*VCs + vc, so a busy router's allocation cycle
+// walks a handful of contiguous arrays instead of chasing per-VC heap
+// objects. The allocator stages are incremental: candidates are enqueued
+// on the state transitions that create them (flit arrival, VC grant, tail
+// release), so per-cycle arbitration cost scales with actual requests —
+// see rcList, vaSet and saMask below. A full-scan reference
+// implementation of all three stages is retained behind Ref; the
+// equivalence suite proves both paths byte-identical.
 type Router struct {
 	ID  int
 	Cfg Config
@@ -60,20 +78,74 @@ type Router struct {
 	Outputs []*OutputPort
 
 	// RouteFn computes admissible outputs for a head flit's packet at this
-	// router; the network installs it with topology and algorithm bound.
-	RouteFn func(p *flow.Packet) []routing.Candidate
+	// router, appending to buf (which has capacity for the worst case);
+	// the network installs it with topology and algorithm bound.
+	RouteFn func(p *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate
 
-	inputArb []*arbiter // per input port, over its VCs (SA input stage)
-	saArb    []*arbiter // per output port, over input ports (SA output stage)
-	vaArb    []*arbiter // per output port*VC, over global input VCs
+	// Geometry, denormalized from Cfg for the hot loops.
+	ports    int
+	vcs      int
+	nvc      int // ports * vcs
+	bufPerVC int
 
-	// Per-tick scratch buffers, reused to keep the hot loop allocation-free.
-	scNominee []int
-	scVCReq   []bool
-	scOutReq  []bool
-	scOutWant []bool
-	scWants   [][]int
-	scVAReq   []bool
+	// Input VC state, indexed by g. inBuf is one slab of per-VC ring
+	// segments: VC g owns inBuf[g*bufPerVC : (g+1)*bufPerVC], a circular
+	// buffer over inHead/inCount. cand is a slab of route-candidate
+	// segments: VC g owns cand[g*ports : (g+1)*ports], of which the first
+	// candN[g] entries are live. inOutPort/inOutVC are the allocated
+	// output while the VC is active.
+	inStage   []vcStage
+	inHead    []int32
+	inCount   []int32
+	inOutPort []int32
+	inOutVC   []int32
+	inBuf     []bufEntry
+	cand      []routing.MaskCandidate
+	candN     []int32
+
+	// Output VC state, indexed by g = port*VCs + vc: downstream credit
+	// counts and wormhole ownership (the global input VC id holding the
+	// output VC, or -1). infMask has bit p set when output port p models
+	// an infinite sink (the ejection port).
+	outCredits []int32
+	outHeldBy  []int32
+	infMask    uint32
+
+	// Round-robin rotation pointers (see pick32/pick64): per input port
+	// over its VCs (SA input stage), per output port over input ports (SA
+	// output stage), per output VC over global input VCs (VA).
+	inArbLast []int32
+	saArbLast []int32
+	vaArbLast []int32
+
+	// Incremental allocator work-lists.
+	//
+	// rcList holds VCs that newly satisfy the RC predicate (idle with a
+	// head flit at the front): pushed by Arrive on an empty idle VC and by
+	// tail release exposing a queued next packet; drained every RC stage.
+	//
+	// vaSet is the persistent set of VCs in vcWaitingVC (swap-remove via
+	// vaPos, -1 when absent). Membership changes only on RC promotion and
+	// VA grant, so the VA stage iterates exactly the waiting VCs.
+	//
+	// saMask[p] has bit v set iff input VC p*VCs+v is vcActive with a
+	// buffered flit — the SA eligibility predicate minus the credit check,
+	// which is evaluated at pick time so credit returns need no re-arm.
+	// saPorts aggregates the per-port masks (bit p set iff saMask[p] != 0)
+	// so the SA stage visits only ports with candidates. Maintained by
+	// saOn/saOff from Arrive, VA grant, and crossbar traversal.
+	rcList  []int32
+	vaSet   []int32
+	vaPos   []int32
+	saMask  []uint32
+	saPorts uint32
+
+	// Per-tick scratch, reused to keep the hot loop allocation-free:
+	// vaReq[key] accumulates the VA request bitmap per output VC (always
+	// zeroed again within the stage), scNominee the SA input-stage winner
+	// per input port.
+	vaReq     []uint64
+	scNominee []int32
 
 	// vaWaiting counts input VCs in the vcWaitingVC stage, so the VA stage
 	// can bail out in one compare when nothing is waiting (the common case).
@@ -84,15 +156,22 @@ type Router struct {
 	// txLink totals queued tx entries on link output ports, txLocal on the
 	// local ejection port. They make Busy and the network's per-phase
 	// early-outs O(1) instead of per-port sweeps. inOcc holds the per-port
-	// buffered-flit counts in one dense array so the allocator stages can
-	// skip idle ports without touching each InputPort; txMask has bit
-	// 1<<port set while that output port has queued tx, so the network's
-	// transmit phase visits only ports with work.
+	// buffered-flit counts in one dense array so the reference allocator
+	// stages can skip idle ports without touching each InputPort; txMask
+	// has bit 1<<port set while that output port has queued tx, so the
+	// network's transmit phase visits only ports with work.
 	bufFlits int
 	txLink   int
 	txLocal  int
 	inOcc    []int
 	txMask   uint32
+
+	// Ref selects the retained full-scan reference allocators instead of
+	// the work-list path. Both paths share the traversal, grant and RC
+	// promotion bodies (which maintain the work-list structures either
+	// way), and produce byte-identical simulations; the reference path
+	// exists to prove that.
+	Ref bool
 
 	// Asserts enables in-pipeline legality checks (no grant without
 	// request, no traversal without a downstream credit). Set by the
@@ -131,27 +210,58 @@ func New(id int, cfg Config) (*Router, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Router{ID: id, Cfg: cfg}
-	r.inOcc = make([]int, cfg.Ports)
-	for p := 0; p < cfg.Ports; p++ {
+	r := &Router{
+		ID: id, Cfg: cfg,
+		ports: cfg.Ports, vcs: cfg.VCs, nvc: cfg.Ports * cfg.VCs,
+		bufPerVC: cfg.BufPerVC(),
+	}
+	n := r.nvc
+	r.inStage = make([]vcStage, n)
+	r.inHead = make([]int32, n)
+	r.inCount = make([]int32, n)
+	r.inOutPort = make([]int32, n)
+	r.inOutVC = make([]int32, n)
+	r.inBuf = make([]bufEntry, n*r.bufPerVC)
+	r.cand = make([]routing.MaskCandidate, n*r.ports)
+	r.candN = make([]int32, n)
+	r.outCredits = make([]int32, n)
+	r.outHeldBy = make([]int32, n)
+	r.inArbLast = make([]int32, r.ports)
+	r.saArbLast = make([]int32, r.ports)
+	r.vaArbLast = make([]int32, n)
+	r.rcList = make([]int32, 0, n)
+	r.vaSet = make([]int32, 0, n)
+	r.vaPos = make([]int32, n)
+	r.saMask = make([]uint32, r.ports)
+	r.vaReq = make([]uint64, n)
+	r.scNominee = make([]int32, r.ports)
+	r.inOcc = make([]int, r.ports)
+	for g := 0; g < n; g++ {
+		r.outCredits[g] = int32(r.bufPerVC)
+		r.outHeldBy[g] = -1
+		r.vaPos[g] = -1
+		// Rotation pointers start at the top index so the first grant
+		// wraps to requester 0.
+		r.vaArbLast[g] = int32(n - 1)
+	}
+	r.infMask = 1 // ejection port 0
+	for p := 0; p < r.ports; p++ {
+		r.inArbLast[p] = int32(r.vcs - 1)
+		r.saArbLast[p] = int32(r.ports - 1)
 		txTotal := &r.txLink
 		if p == 0 {
 			txTotal = &r.txLocal
 		}
-		r.Inputs = append(r.Inputs, newInputPort(cfg.VCs, cfg.BufPerVC(), &r.inOcc[p], &r.bufFlits))
-		r.Outputs = append(r.Outputs, newOutputPort(cfg.VCs, cfg.BufPerVC(), p, p == 0, txTotal, &r.txMask))
-		r.inputArb = append(r.inputArb, newArbiter(cfg.VCs))
-		r.saArb = append(r.saArb, newArbiter(cfg.Ports))
+		r.Inputs = append(r.Inputs, &InputPort{r: r, port: p})
+		r.Outputs = append(r.Outputs, &OutputPort{
+			r: r, port: p,
+			infiniteCredits: p == 0,
+			tx:              make([]TxEntry, 16),
+			txTotal:         txTotal,
+			portBit:         1 << uint(p),
+			totalSlots:      cfg.VCs * r.bufPerVC,
+		})
 	}
-	for i := 0; i < cfg.Ports*cfg.VCs; i++ {
-		r.vaArb = append(r.vaArb, newArbiter(cfg.Ports*cfg.VCs))
-	}
-	r.scNominee = make([]int, cfg.Ports)
-	r.scVCReq = make([]bool, cfg.VCs)
-	r.scOutReq = make([]bool, cfg.Ports)
-	r.scOutWant = make([]bool, cfg.Ports)
-	r.scWants = make([][]int, cfg.Ports*cfg.VCs)
-	r.scVAReq = make([]bool, cfg.Ports*cfg.VCs)
 	return r, nil
 }
 
@@ -160,10 +270,21 @@ func (r *Router) SetCreditReturn(port int, fn func(vc int, now sim.Time)) {
 	r.Inputs[port].creditFn = fn
 }
 
+// hasCredit reports whether output (port, vc) has a downstream slot.
+func (r *Router) hasCredit(port, vc int) bool {
+	return r.infMask>>uint(port)&1 != 0 || r.outCredits[port*r.vcs+vc] > 0
+}
+
 // Tick advances the router's allocation pipeline one cycle. Stages execute
 // in reverse order (SA, then VA, then RC) so a flit needs one cycle per
 // stage, as in a real pipeline. period is the router clock period.
 func (r *Router) Tick(now sim.Time, period sim.Duration) {
+	if r.Ref {
+		r.refSwitchAllocation(now, period)
+		r.refVCAllocation()
+		r.refRouteComputation()
+		return
+	}
 	r.switchAllocation(now, period)
 	r.vcAllocation()
 	r.routeComputation()
@@ -192,84 +313,180 @@ func (r *Router) TxPortMask() uint32 { return r.txMask }
 // so the network's eject phase can skip the router in one compare.
 func (r *Router) LocalTxQueued() int { return r.txLocal }
 
+// Work-list maintenance. The invariants:
+//   - rcList holds every VC that became (vcIdle, non-empty) since the last
+//     RC stage, exactly once;
+//   - g ∈ vaSet  ⟺  inStage[g] == vcWaitingVC;
+//   - saMask[g/vcs] bit g%vcs set  ⟺  inStage[g] == vcActive && inCount[g] > 0,
+//     and saPorts bit p set ⟺ saMask[p] != 0.
+
+func (r *Router) rcPush(g int) { r.rcList = append(r.rcList, int32(g)) }
+
+func (r *Router) vaAdd(g int) {
+	r.vaPos[g] = int32(len(r.vaSet))
+	r.vaSet = append(r.vaSet, int32(g))
+}
+
+func (r *Router) vaRemove(g int) {
+	i := r.vaPos[g]
+	last := r.vaSet[len(r.vaSet)-1]
+	r.vaSet[i] = last
+	r.vaPos[last] = i
+	r.vaSet = r.vaSet[:len(r.vaSet)-1]
+	r.vaPos[g] = -1
+}
+
+func (r *Router) saOn(g int) {
+	p := g / r.vcs
+	r.saMask[p] |= 1 << uint(g-p*r.vcs)
+	r.saPorts |= 1 << uint(p)
+}
+
+func (r *Router) saOff(g int) {
+	p := g / r.vcs
+	m := r.saMask[p] &^ (1 << uint(g-p*r.vcs))
+	r.saMask[p] = m
+	if m == 0 {
+		r.saPorts &^= 1 << uint(p)
+	}
+}
+
 // switchAllocation is the separable SA stage plus switch traversal:
 // input-first round-robin among each port's eligible VCs, then output-side
 // round-robin among competing input ports. Winners leave their input
 // buffer, consume a downstream credit, return an upstream credit, and enter
-// the output pipeline.
+// the output pipeline. Only ports flagged in saPorts are visited, and only
+// their flagged VCs are credit-checked — the stage never scans idle state.
 func (r *Router) switchAllocation(now sim.Time, period sim.Duration) {
-	// Input stage: each input port nominates one VC. Idle ports (the
-	// common case network-wide) skip arbitration entirely — empty ports in
-	// one integer compare, ports whose VCs are all blocked after the sweep.
+	// snapshot: traversal below flips saMask/saPorts bits (tail release,
+	// stream running dry); the output stage must see the input stage's view.
+	snapshot := r.saPorts
+	if snapshot == 0 {
+		return
+	}
 	nominee := r.scNominee // VC index per input port, -1 none
-	requests := r.scVCReq
-	outWant := r.scOutWant // output ports targeted by at least one nominee
+	var outWant uint32     // output ports targeted by at least one nominee
 	anyNominee := false
-	for i, occ := range r.inOcc {
-		if occ == 0 {
-			nominee[i] = -1
-			continue
-		}
-		in := r.Inputs[i]
-		anyReq := false
-		for v, vc := range in.vcs {
-			req := vc.stage == vcActive && !vc.empty() &&
-				r.Outputs[vc.outPort].hasCredit(vc.outVC)
-			requests[v] = req
-			anyReq = anyReq || req
-		}
-		if !anyReq {
-			nominee[i] = -1
-			continue
-		}
-		if !anyNominee {
-			for p := range outWant {
-				outWant[p] = false
+	for pm := snapshot; pm != 0; pm &= pm - 1 {
+		i := bits.TrailingZeros32(pm)
+		base := i * r.vcs
+		var req uint32
+		for vm := r.saMask[i]; vm != 0; vm &= vm - 1 {
+			v := bits.TrailingZeros32(vm)
+			g := base + v
+			if r.hasCredit(int(r.inOutPort[g]), int(r.inOutVC[g])) {
+				req |= 1 << uint(v)
 			}
 		}
-		nominee[i] = r.inputArb[i].pick(requests)
-		if r.Asserts && nominee[i] >= 0 && !requests[nominee[i]] {
-			panic(fmt.Sprintf("router %d: SA input arbiter granted port %d vc %d without a request", r.ID, i, nominee[i]))
+		if req == 0 {
+			nominee[i] = -1
+			continue
+		}
+		v := pick32(req, &r.inArbLast[i])
+		if r.Asserts && req>>uint(v)&1 == 0 {
+			panic(fmt.Sprintf("router %d: SA input arbiter granted port %d vc %d without a request", r.ID, i, v))
 		}
 		r.Activity.ArbGrants++
-		outWant[in.vcs[nominee[i]].outPort] = true
+		nominee[i] = v
+		outWant |= 1 << uint(r.inOutPort[base+int(v)])
 		anyNominee = true
 	}
 	if !anyNominee {
 		return
 	}
 	// Output stage: each output port with contenders grants one input port.
-	outReq := r.scOutReq
-	for p := range r.Outputs {
-		if !outWant[p] {
-			continue
+	for outWant != 0 {
+		p := bits.TrailingZeros32(outWant)
+		outWant &= outWant - 1
+		var outReq uint32
+		for pm := snapshot; pm != 0; pm &= pm - 1 {
+			i := bits.TrailingZeros32(pm)
+			if nominee[i] >= 0 && int(r.inOutPort[i*r.vcs+int(nominee[i])]) == p {
+				outReq |= 1 << uint(i)
+			}
 		}
-		for i := range r.Inputs {
-			outReq[i] = nominee[i] >= 0 && r.Inputs[i].vcs[nominee[i]].outPort == p
-		}
-		winner := r.saArb[p].pick(outReq)
-		if winner < 0 {
-			continue
-		}
-		if r.Asserts && !outReq[winner] {
+		winner := pick32(outReq, &r.saArbLast[p])
+		if r.Asserts && outReq>>uint(winner)&1 == 0 {
 			panic(fmt.Sprintf("router %d: SA output arbiter granted port %d to input %d without a request", r.ID, p, winner))
 		}
 		r.Activity.ArbGrants++
-		r.traverse(winner, nominee[winner], now, period)
+		r.traverse(int(winner)*r.vcs+int(nominee[winner]), now, period)
 	}
 }
 
-// traverse moves the front flit of input (i, v) through the crossbar.
-func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
-	in := r.Inputs[i]
-	vc := in.vcs[v]
-	out := r.Outputs[vc.outPort]
+// refSwitchAllocation is the reference SA stage: a full scan over every
+// port and VC, mirroring the work-list path's arbitration exactly.
+func (r *Router) refSwitchAllocation(now sim.Time, period sim.Duration) {
+	nominee := r.scNominee
+	var outWant uint32
+	anyNominee := false
+	for i := 0; i < r.ports; i++ {
+		nominee[i] = -1
+		if r.inOcc[i] == 0 {
+			continue
+		}
+		var req uint32
+		for v := 0; v < r.vcs; v++ {
+			g := i*r.vcs + v
+			if r.inStage[g] == vcActive && r.inCount[g] > 0 &&
+				r.hasCredit(int(r.inOutPort[g]), int(r.inOutVC[g])) {
+				req |= 1 << uint(v)
+			}
+		}
+		if req == 0 {
+			continue
+		}
+		v := pick32(req, &r.inArbLast[i])
+		if r.Asserts && req>>uint(v)&1 == 0 {
+			panic(fmt.Sprintf("router %d: SA input arbiter granted port %d vc %d without a request", r.ID, i, v))
+		}
+		r.Activity.ArbGrants++
+		nominee[i] = v
+		outWant |= 1 << uint(r.inOutPort[i*r.vcs+int(v)])
+		anyNominee = true
+	}
+	if !anyNominee {
+		return
+	}
+	for outWant != 0 {
+		p := bits.TrailingZeros32(outWant)
+		outWant &= outWant - 1
+		var outReq uint32
+		for i := 0; i < r.ports; i++ {
+			if nominee[i] >= 0 && int(r.inOutPort[i*r.vcs+int(nominee[i])]) == p {
+				outReq |= 1 << uint(i)
+			}
+		}
+		winner := pick32(outReq, &r.saArbLast[p])
+		if r.Asserts && outReq>>uint(winner)&1 == 0 {
+			panic(fmt.Sprintf("router %d: SA output arbiter granted port %d to input %d without a request", r.ID, p, winner))
+		}
+		r.Activity.ArbGrants++
+		r.traverse(int(winner)*r.vcs+int(nominee[winner]), now, period)
+	}
+}
 
-	if r.Asserts && !out.hasCredit(vc.outVC) {
-		panic(fmt.Sprintf("router %d: traversal to port %d vc %d without a downstream credit", r.ID, vc.outPort, vc.outVC))
+// traverse moves the front flit of global input VC g through the crossbar.
+func (r *Router) traverse(g int, now sim.Time, period sim.Duration) {
+	i := g / r.vcs
+	in := r.Inputs[i]
+	outPort, outVC := int(r.inOutPort[g]), int(r.inOutVC[g])
+	out := r.Outputs[outPort]
+
+	if r.Asserts && !out.hasCredit(outVC) {
+		panic(fmt.Sprintf("router %d: traversal to port %d vc %d without a downstream credit", r.ID, outPort, outVC))
 	}
 
-	e := vc.pop()
+	head := int(r.inHead[g])
+	slot := g*r.bufPerVC + head
+	e := r.inBuf[slot]
+	r.inBuf[slot] = bufEntry{}
+	if head++; head == r.bufPerVC {
+		head = 0
+	}
+	r.inHead[g] = int32(head)
+	cnt := int(r.inCount[g]) - 1
+	r.inCount[g] = int32(cnt)
 	r.inOcc[i]--
 	r.bufFlits--
 	f := e.flit
@@ -280,143 +497,200 @@ func (r *Router) traverse(i, v int, now sim.Time, period sim.Duration) {
 	in.windowDeparted++
 
 	// Downstream slot reservation and upstream slot release.
-	out.takeCredit(vc.outVC, now)
+	out.takeCredit(outVC, now)
 	if in.creditFn != nil {
 		in.creditFn(inVC, now)
 	}
 
-	f.VC = vc.outVC
+	f.VC = outVC
 	extra := sim.Duration(r.Cfg.PipelineDepth-3) * period
-	out.tx = append(out.tx, TxEntry{flit: f, readyAt: now + extra})
-	*out.txTotal++
-	*out.txMask |= out.portBit
+	out.pushTx(TxEntry{flit: f, readyAt: now + extra})
 	r.FlitsSwitched++
 	r.Activity.BufReads++
 	r.Activity.Crossbar++
 
 	if f.Kind == flow.Tail {
-		out.vcs[vc.outVC].held = false
-		vc.stage = vcIdle
-		vc.candidates = nil
+		r.outHeldBy[outPort*r.vcs+outVC] = -1
+		r.inStage[g] = vcIdle
+		r.candN[g] = 0
+		r.saOff(g)
+		if cnt > 0 {
+			// The next packet's head flit is already queued behind the
+			// departed tail: the VC re-enters the RC stage.
+			r.rcPush(g)
+		}
+	} else if cnt == 0 {
+		r.saOff(g) // stream ran dry mid-packet; Arrive re-arms it
 	}
 }
 
 // vcAllocation is the separable VA stage: each waiting input VC nominates
 // its best free (output port, output VC) pair, then a per-output-VC
-// round-robin arbiter grants among contenders.
+// round-robin arbiter grants among contenders. Only the VCs in vaSet — by
+// invariant exactly those in vcWaitingVC — are examined.
 func (r *Router) vcAllocation() {
 	if r.vaWaiting == 0 {
 		return
 	}
-	cfg := r.Cfg
-	// wants[key] lists global input-VC ids nominating output VC key;
-	// iterated by key index to keep allocation deterministic.
-	wants := r.scWants
-	for i := range wants {
-		wants[i] = wants[i][:0]
+	// Phase 1: nominations, against pre-grant state. vaSet order does not
+	// matter — nominations are pure reads accumulated into request bitmaps.
+	var keys uint64
+	for _, g32 := range r.vaSet {
+		g := int(g32)
+		key, ok := r.nominate(g)
+		if !ok {
+			continue
+		}
+		r.vaReq[key] |= 1 << uint(g)
+		keys |= 1 << uint(key)
 	}
-	any := false
-	for i, occ := range r.inOcc {
-		if occ == 0 {
+	// Phase 2: one grant per contended output VC, ascending key order.
+	r.vaGrant(keys)
+}
+
+// refVCAllocation is the reference VA stage: a full scan for waiting VCs
+// in (port, vc) order, sharing the grant phase with the work-list path.
+func (r *Router) refVCAllocation() {
+	if r.vaWaiting == 0 {
+		return
+	}
+	var keys uint64
+	for i := 0; i < r.ports; i++ {
+		if r.inOcc[i] == 0 {
 			// A waiting VC always holds at least its head flit, so an empty
 			// port has nothing in the VA stage.
 			continue
 		}
-		for v, vc := range r.Inputs[i].vcs {
-			if vc.stage != vcWaitingVC {
+		for v := 0; v < r.vcs; v++ {
+			g := i*r.vcs + v
+			if r.inStage[g] != vcWaitingVC {
 				continue
 			}
-			p, ov, ok := r.nominate(vc)
+			key, ok := r.nominate(g)
 			if !ok {
 				continue
 			}
-			g := i*cfg.VCs + v
-			wants[p*cfg.VCs+ov] = append(wants[p*cfg.VCs+ov], g)
-			any = true
+			r.vaReq[key] |= 1 << uint(g)
+			keys |= 1 << uint(key)
 		}
 	}
-	if !any {
-		return
-	}
-	reqs := r.scVAReq
-	for key, contenders := range wants {
-		if len(contenders) == 0 {
-			continue
-		}
-		for i := range reqs {
-			reqs[i] = false
-		}
-		for _, g := range contenders {
-			reqs[g] = true
-		}
-		g := r.vaArb[key].pick(reqs)
-		if g < 0 {
-			continue
-		}
-		if r.Asserts && !reqs[g] {
+	r.vaGrant(keys)
+}
+
+// vaGrant resolves the VA request bitmaps for the output VCs flagged in
+// keys, granting one waiting input VC each and clearing vaReq behind
+// itself.
+func (r *Router) vaGrant(keys uint64) {
+	for keys != 0 {
+		key := bits.TrailingZeros64(keys)
+		keys &= keys - 1
+		req := r.vaReq[key]
+		r.vaReq[key] = 0
+		g := int(pick64(req, &r.vaArbLast[key]))
+		if r.Asserts && req>>uint(g)&1 == 0 {
 			panic(fmt.Sprintf("router %d: VA arbiter granted output vc %d to input vc %d without a request", r.ID, key, g))
 		}
 		r.Activity.ArbGrants++
-		i, v := g/cfg.VCs, g%cfg.VCs
-		vc := r.Inputs[i].vcs[v]
-		vc.stage = vcActive
+		r.inStage[g] = vcActive
 		r.vaWaiting--
-		vc.outPort, vc.outVC = key/cfg.VCs, key%cfg.VCs
-		st := r.Outputs[vc.outPort].vcs[vc.outVC]
-		st.held = true
-		st.inPort, st.inVC = i, v
+		r.vaRemove(g)
+		r.inOutPort[g] = int32(key / r.vcs)
+		r.inOutVC[g] = int32(key % r.vcs)
+		r.outHeldBy[key] = int32(g)
+		// A waiting VC holds at least its head flit, so it is SA-eligible
+		// the moment it becomes active.
+		r.saOn(g)
 	}
 }
 
-// nominate picks the preferred free (port, VC) among a waiting VC's route
-// candidates: the candidate output with the most downstream credits
-// (adaptive congestion avoidance; ties and deterministic routes fall back
-// to candidate order), and within it the first free admissible VC.
-func (r *Router) nominate(vc *inputVC) (port, outVC int, ok bool) {
-	bestScore := -1
-	for _, cand := range vc.candidates {
-		out := r.Outputs[cand.Port]
-		for _, ov := range cand.VCs {
-			if out.vcs[ov].held {
+// nominate picks the preferred free (output port, output VC) among a
+// waiting VC's route candidates: the candidate output with the most
+// downstream credits (adaptive congestion avoidance; ties and
+// deterministic routes fall back to candidate order), and within it the
+// first free admissible VC. The returned key is outPort*VCs + outVC.
+func (r *Router) nominate(g int) (key int, ok bool) {
+	bestScore := int32(-1)
+	base := g * r.ports
+	for c := 0; c < int(r.candN[g]); c++ {
+		cand := r.cand[base+c]
+		cbase := cand.Port * r.vcs
+		inf := r.infMask>>uint(cand.Port)&1 != 0
+		for m := cand.VCMask; m != 0; m &= m - 1 {
+			ov := bits.TrailingZeros32(m)
+			if r.outHeldBy[cbase+ov] >= 0 {
 				continue
 			}
-			score := out.vcs[ov].credits
-			if out.infiniteCredits {
+			score := r.outCredits[cbase+ov]
+			if inf {
 				score = 1 << 30
 			}
 			if score > bestScore {
 				bestScore = score
-				port, outVC, ok = cand.Port, ov, true
+				key = cbase + ov
+				ok = true
 			}
 			break // first free VC in admissible order is the port's offer
 		}
 	}
-	return port, outVC, ok
+	return key, ok
 }
 
-// routeComputation is the RC stage: idle VCs with a head flit at the front
-// compute their admissible outputs.
+// routeComputation is the RC stage: VCs that newly acquired a head flit at
+// the front of an idle buffer — queued on rcList by Arrive and by tail
+// release — compute their admissible outputs. List order does not matter:
+// each promotion touches only its own VC's state.
 func (r *Router) routeComputation() {
-	for i, occ := range r.inOcc {
-		if occ == 0 {
+	for _, g32 := range r.rcList {
+		g := int(g32)
+		// A queued VC is promoted unless the transition was consumed
+		// already (defensive; the enqueue rules fire exactly once per
+		// transition into the idle+non-empty state).
+		if r.inStage[g] != vcIdle || r.inCount[g] == 0 {
 			continue
 		}
-		for _, vc := range r.Inputs[i].vcs {
-			if vc.stage != vcIdle || vc.empty() {
+		r.rcPromote(g)
+	}
+	r.rcList = r.rcList[:0]
+}
+
+// refRouteComputation is the reference RC stage: a full scan for idle
+// non-empty VCs in (port, vc) order. It supersedes — and clears — rcList,
+// which Arrive and traversal keep feeding either way.
+func (r *Router) refRouteComputation() {
+	for i := 0; i < r.ports; i++ {
+		if r.inOcc[i] == 0 {
+			continue
+		}
+		for v := 0; v < r.vcs; v++ {
+			g := i*r.vcs + v
+			if r.inStage[g] != vcIdle || r.inCount[g] == 0 {
 				continue
 			}
-			f := vc.front().flit
-			if f.Kind != flow.Head {
-				panic(fmt.Sprintf("router %d: %v at front of idle VC", r.ID, f))
-			}
-			vc.candidates = r.RouteFn(f.Packet)
-			if len(vc.candidates) == 0 {
-				panic(fmt.Sprintf("router %d: no route for %v", r.ID, f))
-			}
-			vc.stage = vcWaitingVC
-			r.vaWaiting++
+			r.rcPromote(g)
 		}
 	}
+	r.rcList = r.rcList[:0]
+}
+
+// rcPromote runs route computation for one idle VC with a head flit at the
+// front, moving it to the VA stage.
+func (r *Router) rcPromote(g int) {
+	f := r.inBuf[g*r.bufPerVC+int(r.inHead[g])].flit
+	if f.Kind != flow.Head {
+		panic(fmt.Sprintf("router %d: %v at front of idle VC", r.ID, f))
+	}
+	base := g * r.ports
+	out := r.RouteFn(f.Packet, r.cand[base:base:base+r.ports])
+	if len(out) == 0 {
+		panic(fmt.Sprintf("router %d: no route for %v", r.ID, f))
+	}
+	if len(out) > r.ports {
+		panic(fmt.Sprintf("router %d: %d route candidates overflow the per-VC segment", r.ID, len(out)))
+	}
+	r.candN[g] = int32(len(out))
+	r.inStage[g] = vcWaitingVC
+	r.vaWaiting++
+	r.vaAdd(g)
 }
 
 // ActivitySnapshot reports the router's cumulative energy-bearing activity,

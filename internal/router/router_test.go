@@ -1,6 +1,7 @@
 package router
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/flow"
@@ -10,6 +11,19 @@ import (
 
 const period = sim.Nanosecond
 
+// bothPaths runs a subtest against the work-list allocators and the
+// retained reference scan path; the two must behave identically.
+func bothPaths(t *testing.T, fn func(t *testing.T, ref bool)) {
+	t.Helper()
+	for _, ref := range []bool{false, true} {
+		name := "worklist"
+		if ref {
+			name = "ref"
+		}
+		t.Run(name, func(t *testing.T) { fn(t, ref) })
+	}
+}
+
 // testRouter builds a small router whose RouteFn always sends packets to
 // output port `out` on any VC.
 func testRouter(t *testing.T, cfg Config, out int) *Router {
@@ -18,11 +32,14 @@ func testRouter(t *testing.T, cfg Config, out int) *Router {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.RouteFn = func(*flow.Packet) []routing.Candidate {
-		return []routing.Candidate{{Port: out, VCs: []int{0, 1}}}
+	r.RouteFn = func(_ *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+		return append(buf, routing.MaskCandidate{Port: out, VCMask: 0b11})
 	}
 	return r
 }
+
+// stageOf reads the pipeline stage of input VC (port, vc).
+func stageOf(r *Router, port, vc int) vcStage { return r.inStage[port*r.vcs+vc] }
 
 // makePacket builds a packet's flit train assigned to input VC vc.
 func makePacket(id int64, vc int) []*flow.Flit {
@@ -50,6 +67,9 @@ func TestConfigValidate(t *testing.T) {
 		{Ports: 5, VCs: 0, BufPerPort: 8, PipelineDepth: 13},
 		{Ports: 5, VCs: 4, BufPerPort: 2, PipelineDepth: 13},
 		{Ports: 5, VCs: 2, BufPerPort: 8, PipelineDepth: 3},
+		{Ports: 33, VCs: 1, BufPerPort: 64, PipelineDepth: 13},  // > 32 ports
+		{Ports: 5, VCs: 16, BufPerPort: 80, PipelineDepth: 13},  // 80 global VCs > 64
+		{Ports: 32, VCs: 4, BufPerPort: 128, PipelineDepth: 13}, // 128 global VCs > 64
 	}
 	for i, c := range bad {
 		if c.Validate() == nil {
@@ -62,60 +82,68 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestHeadFlitThreeStagePipeline(t *testing.T) {
-	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
-	r := testRouter(t, cfg, 2)
-	flits := makePacket(1, 0)
-	r.Inputs[1].Arrive(flits[0], 0)
+	bothPaths(t, func(t *testing.T, ref bool) {
+		cfg := Config{Ports: 3, VCs: 2, BufPerPort: 8, PipelineDepth: 13}
+		r := testRouter(t, cfg, 2)
+		r.Ref = ref
+		flits := makePacket(1, 0)
+		r.Inputs[1].Arrive(flits[0], 0)
 
-	// Cycle 0: RC only. Cycle 1: VA. Cycle 2: SA + traversal.
-	r.Tick(0, period)
-	if got := r.Inputs[1].vcs[0].stage; got != vcWaitingVC {
-		t.Fatalf("after cycle 0: stage = %v, want waiting-VC", got)
-	}
-	r.Tick(period, period)
-	if got := r.Inputs[1].vcs[0].stage; got != vcActive {
-		t.Fatalf("after cycle 1: stage = %v, want active", got)
-	}
-	if len(r.Outputs[2].tx) != 0 {
-		t.Fatal("flit traversed before SA cycle")
-	}
-	r.Tick(2*period, period)
-	if len(r.Outputs[2].tx) != 1 {
-		t.Fatal("flit did not traverse at SA cycle")
-	}
-	// Ready after the deep pipeline: SA at t=2ns + (13-3) ns = 12ns.
-	if got := r.Outputs[2].tx[0].readyAt; got != 12*period {
-		t.Errorf("readyAt = %v, want 12ns", got)
-	}
+		// Cycle 0: RC only. Cycle 1: VA. Cycle 2: SA + traversal.
+		r.Tick(0, period)
+		if got := stageOf(r, 1, 0); got != vcWaitingVC {
+			t.Fatalf("after cycle 0: stage = %v, want waiting-VC", got)
+		}
+		r.Tick(period, period)
+		if got := stageOf(r, 1, 0); got != vcActive {
+			t.Fatalf("after cycle 1: stage = %v, want active", got)
+		}
+		if r.Outputs[2].QueuedTx() != 0 {
+			t.Fatal("flit traversed before SA cycle")
+		}
+		r.Tick(2*period, period)
+		if r.Outputs[2].QueuedTx() != 1 {
+			t.Fatal("flit did not traverse at SA cycle")
+		}
+		// Ready after the deep pipeline: SA at t=2ns + (13-3) ns = 12ns.
+		if got := r.Outputs[2].TxFront().ReadyAt(); got != 12*period {
+			t.Errorf("readyAt = %v, want 12ns", got)
+		}
+	})
 }
 
 func TestWholePacketStreamsAndReleasesVC(t *testing.T) {
-	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 10, PipelineDepth: 13}
-	r := testRouter(t, cfg, 2)
-	for _, f := range makePacket(1, 0) {
-		r.Inputs[1].Arrive(f, 0)
-	}
-	tickN(r, 0, 7) // RC+VA+5 SA cycles
-	if got := len(r.Outputs[2].tx); got != flow.FlitsPerPacket {
-		t.Fatalf("transmitted %d flits, want %d", got, flow.FlitsPerPacket)
-	}
-	// Tail must release the output VC and return the input VC to idle.
-	ov := r.Outputs[2].tx[0].flit.VC
-	if r.Outputs[2].vcs[ov].held {
-		t.Error("output VC still held after tail")
-	}
-	if got := r.Inputs[1].vcs[0].stage; got != vcIdle {
-		t.Errorf("input VC stage = %v, want idle", got)
-	}
-	// Flits stay in order and on one VC.
-	for i, e := range r.Outputs[2].tx {
-		if e.flit.Seq != i {
-			t.Errorf("tx[%d] is seq %d", i, e.flit.Seq)
+	bothPaths(t, func(t *testing.T, ref bool) {
+		cfg := Config{Ports: 3, VCs: 2, BufPerPort: 10, PipelineDepth: 13}
+		r := testRouter(t, cfg, 2)
+		r.Ref = ref
+		for _, f := range makePacket(1, 0) {
+			r.Inputs[1].Arrive(f, 0)
 		}
-		if e.flit.VC != ov {
-			t.Errorf("flit %d switched VC mid-packet", i)
+		tickN(r, 0, 7) // RC+VA+5 SA cycles
+		out := r.Outputs[2]
+		if got := out.QueuedTx(); got != flow.FlitsPerPacket {
+			t.Fatalf("transmitted %d flits, want %d", got, flow.FlitsPerPacket)
 		}
-	}
+		// Tail must release the output VC and return the input VC to idle.
+		ov := out.TxFront().Flit().VC
+		if held, _, _ := out.Held(ov); held {
+			t.Error("output VC still held after tail")
+		}
+		if got := stageOf(r, 1, 0); got != vcIdle {
+			t.Errorf("input VC stage = %v, want idle", got)
+		}
+		// Flits stay in order and on one VC.
+		for i := 0; i < out.QueuedTx(); i++ {
+			f := out.TxAt(i).Flit()
+			if f.Seq != i {
+				t.Errorf("tx[%d] is seq %d", i, f.Seq)
+			}
+			if f.VC != ov {
+				t.Errorf("flit %d switched VC mid-packet", i)
+			}
+		}
+	})
 }
 
 func TestOnePacketPerCyclePerOutput(t *testing.T) {
@@ -131,7 +159,7 @@ func TestOnePacketPerCyclePerOutput(t *testing.T) {
 	prev := 0
 	for c := 0; c < 16; c++ {
 		r.Tick(sim.Time(c)*period, period)
-		got := len(r.Outputs[2].tx)
+		got := r.Outputs[2].QueuedTx()
 		if got-prev > 1 {
 			t.Fatalf("cycle %d: output port accepted %d flits in one cycle", c, got-prev)
 		}
@@ -159,38 +187,41 @@ func TestSwitchAllocationRoundRobinFair(t *testing.T) {
 	// Both packets' flits interleave: count per input port of the first 10
 	// transmitted flits (after both are active).
 	counts := map[int64]int{}
-	for _, e := range r.Outputs[2].tx {
-		counts[e.flit.Packet.ID]++
-	}
+	r.Outputs[2].ForEachTx(func(e TxEntry) {
+		counts[e.Flit().Packet.ID]++
+	})
 	if len(counts) < 2 {
 		t.Fatalf("only %d packets made progress", len(counts))
 	}
 }
 
 func TestCreditExhaustionBlocksSA(t *testing.T) {
-	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 20, PipelineDepth: 13}
-	r := testRouter(t, cfg, 2)
-	// Pre-consume downstream credits so each output VC has only 2 left.
-	for vc := 0; vc < 2; vc++ {
-		for i := 0; i < cfg.BufPerVC()-2; i++ {
-			r.Outputs[2].takeCredit(vc, 0)
+	bothPaths(t, func(t *testing.T, ref bool) {
+		cfg := Config{Ports: 3, VCs: 2, BufPerPort: 20, PipelineDepth: 13}
+		r := testRouter(t, cfg, 2)
+		r.Ref = ref
+		// Pre-consume downstream credits so each output VC has only 2 left.
+		for vc := 0; vc < 2; vc++ {
+			for i := 0; i < cfg.BufPerVC()-2; i++ {
+				r.Outputs[2].takeCredit(vc, 0)
+			}
 		}
-	}
-	for _, f := range makePacket(1, 0) {
-		r.Inputs[1].Arrive(f, 0)
-	}
-	tickN(r, 0, 10)
-	// Only 2 flits can go: credits for the chosen output VC run out.
-	if got := len(r.Outputs[2].tx); got != 2 {
-		t.Fatalf("transmitted %d flits with 2 credits, want 2", got)
-	}
-	// Returning one credit releases exactly one more flit.
-	ov := r.Outputs[2].tx[0].flit.VC
-	r.Outputs[2].ReturnCredit(ov, 10*period)
-	tickN(r, 10, 3)
-	if got := len(r.Outputs[2].tx); got != 3 {
-		t.Errorf("after credit return: %d flits, want 3", got)
-	}
+		for _, f := range makePacket(1, 0) {
+			r.Inputs[1].Arrive(f, 0)
+		}
+		tickN(r, 0, 10)
+		// Only 2 flits can go: credits for the chosen output VC run out.
+		if got := r.Outputs[2].QueuedTx(); got != 2 {
+			t.Fatalf("transmitted %d flits with 2 credits, want 2", got)
+		}
+		// Returning one credit releases exactly one more flit.
+		ov := r.Outputs[2].TxFront().Flit().VC
+		r.Outputs[2].ReturnCredit(ov, 10*period)
+		tickN(r, 10, 3)
+		if got := r.Outputs[2].QueuedTx(); got != 3 {
+			t.Errorf("after credit return: %d flits, want 3", got)
+		}
+	})
 }
 
 func TestUpstreamCreditReturnedOnTraversal(t *testing.T) {
@@ -221,7 +252,7 @@ func TestEjectionPortHasInfiniteCredits(t *testing.T) {
 		}
 	}
 	tickN(r, 0, 40)
-	if got := len(r.Outputs[0].tx); got != 4*flow.FlitsPerPacket {
+	if got := r.Outputs[0].QueuedTx(); got != 4*flow.FlitsPerPacket {
 		t.Errorf("ejected %d flits, want %d (no credit limit)", got, 4*flow.FlitsPerPacket)
 	}
 }
@@ -279,11 +310,10 @@ func TestNominatePrefersCreditRichPort(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Adaptive-style route: two candidate ports; port 3 has fewer credits.
-	r.RouteFn = func(*flow.Packet) []routing.Candidate {
-		return []routing.Candidate{
-			{Port: 3, VCs: []int{0, 1}},
-			{Port: 4, VCs: []int{0, 1}},
-		}
+	r.RouteFn = func(_ *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+		return append(buf,
+			routing.MaskCandidate{Port: 3, VCMask: 0b11},
+			routing.MaskCandidate{Port: 4, VCMask: 0b11})
 	}
 	r.Outputs[3].takeCredit(0, 0)
 	r.Outputs[3].takeCredit(0, 0)
@@ -292,9 +322,9 @@ func TestNominatePrefersCreditRichPort(t *testing.T) {
 		r.Inputs[1].Arrive(f, 0)
 	}
 	tickN(r, 0, 3)
-	vc := r.Inputs[1].vcs[0]
-	if vc.stage != vcActive || vc.outPort != 4 {
-		t.Errorf("allocated port %d (stage %v), want credit-rich port 4", vc.outPort, vc.stage)
+	stage, outPort, _, _ := r.Inputs[1].VCState(0)
+	if stage != VCActive || outPort != 4 {
+		t.Errorf("allocated port %d (stage %v), want credit-rich port 4", outPort, stage)
 	}
 }
 
@@ -308,11 +338,12 @@ func TestVCAllocationDistinctVCsForCompetingPackets(t *testing.T) {
 		r.Inputs[1].Arrive(f, 0)
 	}
 	tickN(r, 0, 3)
-	a, b := r.Inputs[0].vcs[0], r.Inputs[1].vcs[0]
-	if a.stage != vcActive || b.stage != vcActive {
-		t.Fatalf("stages = %v, %v; want both active (2 output VCs available)", a.stage, b.stage)
+	aStage, _, aVC, _ := r.Inputs[0].VCState(0)
+	bStage, _, bVC, _ := r.Inputs[1].VCState(0)
+	if aStage != VCActive || bStage != VCActive {
+		t.Fatalf("stages = %v, %v; want both active (2 output VCs available)", aStage, bStage)
 	}
-	if a.outVC == b.outVC {
+	if aVC == bVC {
 		t.Error("two packets allocated the same output VC")
 	}
 }
@@ -333,63 +364,66 @@ func TestStrayBodyFlitPanics(t *testing.T) {
 // TestRouterConservationProperty: random packets fed through a router with
 // random credit returns neither lose nor duplicate flits.
 func TestRouterConservationProperty(t *testing.T) {
-	cfg := Config{Ports: 5, VCs: 2, BufPerPort: 16, PipelineDepth: 13}
-	rng := sim.NewRNG(7)
-	r, err := New(0, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r.RouteFn = func(p *flow.Packet) []routing.Candidate {
-		// Derive a stable pseudo-random output from the packet id.
-		out := 1 + int(p.ID)%4
-		return []routing.Candidate{{Port: out, VCs: []int{0, 1}}}
-	}
-	injected, forwarded := 0, 0
-	inflight := map[int]int{} // per input port per VC pending flits
-	var id int64
-	for cycle := 0; cycle < 5000; cycle++ {
-		now := sim.Time(cycle) * sim.Nanosecond
-		// Random injection into a random input port/VC with space for a
-		// whole packet.
-		if rng.Intn(4) == 0 {
-			in := rng.Intn(4) + 1
-			vc := rng.Intn(2)
-			key := in*2 + vc
-			if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket && inflight[key] == 0 {
-				id++
-				p := flow.NewPacket(id, 0, 1, now, -1)
-				for _, f := range flow.NewPacketFlits(p) {
-					f.VC = vc
-					r.Inputs[in].Arrive(f, now)
-				}
-				injected += flow.FlitsPerPacket
-			}
+	bothPaths(t, func(t *testing.T, ref bool) {
+		cfg := Config{Ports: 5, VCs: 2, BufPerPort: 16, PipelineDepth: 13}
+		rng := sim.NewRNG(7)
+		r, err := New(0, cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		r.Tick(now, sim.Nanosecond)
-		// Drain output pipelines and randomly return credits.
-		for p := 1; p < cfg.Ports; p++ {
-			out := r.Outputs[p]
-			for out.QueuedTx() > 0 {
-				e := out.PopTx()
-				forwarded++
-				if rng.Intn(2) == 0 {
-					out.ReturnCredit(e.Flit().VC, now)
-				} else {
-					later := e.Flit().VC
-					defer out.ReturnCredit(later, now) // return rest at the end
+		r.Ref = ref
+		r.RouteFn = func(p *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+			// Derive a stable pseudo-random output from the packet id.
+			out := 1 + int(p.ID)%4
+			return append(buf, routing.MaskCandidate{Port: out, VCMask: 0b11})
+		}
+		injected, forwarded := 0, 0
+		inflight := map[int]int{} // per input port per VC pending flits
+		var id int64
+		for cycle := 0; cycle < 5000; cycle++ {
+			now := sim.Time(cycle) * sim.Nanosecond
+			// Random injection into a random input port/VC with space for a
+			// whole packet.
+			if rng.Intn(4) == 0 {
+				in := rng.Intn(4) + 1
+				vc := rng.Intn(2)
+				key := in*2 + vc
+				if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket && inflight[key] == 0 {
+					id++
+					p := flow.NewPacket(id, 0, 1, now, -1)
+					for _, f := range flow.NewPacketFlits(p) {
+						f.VC = vc
+						r.Inputs[in].Arrive(f, now)
+					}
+					injected += flow.FlitsPerPacket
 				}
 			}
+			r.Tick(now, sim.Nanosecond)
+			// Drain output pipelines and randomly return credits.
+			for p := 1; p < cfg.Ports; p++ {
+				out := r.Outputs[p]
+				for out.QueuedTx() > 0 {
+					e := out.PopTx()
+					forwarded++
+					if rng.Intn(2) == 0 {
+						out.ReturnCredit(e.Flit().VC, now)
+					} else {
+						later := e.Flit().VC
+						defer out.ReturnCredit(later, now) // return rest at the end
+					}
+				}
+			}
 		}
-	}
-	// Let the router drain whatever credits remain.
-	buffered := 0
-	for p := 0; p < cfg.Ports; p++ {
-		buffered += r.Inputs[p].Occupied()
-	}
-	if forwarded+buffered != injected {
-		t.Errorf("conservation violated: injected %d, forwarded %d, buffered %d",
-			injected, forwarded, buffered)
-	}
+		// Let the router drain whatever credits remain.
+		buffered := 0
+		for p := 0; p < cfg.Ports; p++ {
+			buffered += r.Inputs[p].Occupied()
+		}
+		if forwarded+buffered != injected {
+			t.Errorf("conservation violated: injected %d, forwarded %d, buffered %d",
+				injected, forwarded, buffered)
+		}
+	})
 }
 
 // TestVCAllocationFairness: two packets contending for the same output
@@ -446,13 +480,13 @@ func TestBodyFlitsCannotOvertake(t *testing.T) {
 	}
 	tickN(r, 0, 20)
 	lastSeq := map[int64]int{1: -1, 2: -1}
-	for _, e := range r.Outputs[2].Tx() {
+	r.Outputs[2].ForEachTx(func(e TxEntry) {
 		f := e.Flit()
 		if f.Seq <= lastSeq[f.Packet.ID] {
 			t.Fatalf("packet %d flit %d after flit %d", f.Packet.ID, f.Seq, lastSeq[f.Packet.ID])
 		}
 		lastSeq[f.Packet.ID] = f.Seq
-	}
+	})
 	if lastSeq[1] != 4 || lastSeq[2] != 4 {
 		t.Errorf("not all flits forwarded: %v", lastSeq)
 	}
@@ -461,21 +495,200 @@ func TestBodyFlitsCannotOvertake(t *testing.T) {
 // TestActivityCounters: the energy-model event counters tally the expected
 // micro-events for one packet through one router.
 func TestActivityCounters(t *testing.T) {
-	cfg := Config{Ports: 3, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
-	r := testRouter(t, cfg, 2)
-	for _, f := range makePacket(1, 0) {
-		r.Inputs[1].Arrive(f, 0)
+	bothPaths(t, func(t *testing.T, ref bool) {
+		cfg := Config{Ports: 3, VCs: 2, BufPerPort: 12, PipelineDepth: 13}
+		r := testRouter(t, cfg, 2)
+		r.Ref = ref
+		for _, f := range makePacket(1, 0) {
+			r.Inputs[1].Arrive(f, 0)
+		}
+		tickN(r, 0, 10)
+		a := r.ActivitySnapshot()
+		if a.BufWrites != flow.FlitsPerPacket {
+			t.Errorf("buffer writes = %d, want %d", a.BufWrites, flow.FlitsPerPacket)
+		}
+		if a.BufReads != flow.FlitsPerPacket || a.Crossbar != flow.FlitsPerPacket {
+			t.Errorf("reads/crossbar = %d/%d, want %d each", a.BufReads, a.Crossbar, flow.FlitsPerPacket)
+		}
+		// Grants: 1 VA + (input-stage + output-stage) per flit = 1 + 2*5 = 11.
+		if a.ArbGrants != 11 {
+			t.Errorf("arbiter grants = %d, want 11", a.ArbGrants)
+		}
+	})
+}
+
+// TestWorklistMatchesReferenceRandomized drives two identically seeded
+// routers — one on the work-list allocators, one on the reference full
+// scans — through thousands of randomized cycles and demands equal state
+// at every step: same tx streams, same stages, same arbiter outcomes
+// (via the activity counters), same credits.
+func TestWorklistMatchesReferenceRandomized(t *testing.T) {
+	cfg := Config{Ports: 5, VCs: 2, BufPerPort: 16, PipelineDepth: 13}
+	mk := func(ref bool) *Router {
+		r, err := New(0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Ref = ref
+		r.Asserts = true
+		r.RouteFn = func(p *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+			out := 1 + int(p.ID)%4
+			alt := 1 + int(p.ID/7)%4
+			buf = append(buf, routing.MaskCandidate{Port: out, VCMask: 0b11})
+			if alt != out {
+				buf = append(buf, routing.MaskCandidate{Port: alt, VCMask: 0b10})
+			}
+			return buf
+		}
+		return r
 	}
-	tickN(r, 0, 10)
-	a := r.ActivitySnapshot()
-	if a.BufWrites != flow.FlitsPerPacket {
-		t.Errorf("buffer writes = %d, want %d", a.BufWrites, flow.FlitsPerPacket)
+	a, b := mk(false), mk(true)
+	rngA, rngB := sim.NewRNG(99), sim.NewRNG(99)
+
+	drive := func(r *Router, rng *sim.RNG, now sim.Time, id int64) {
+		if rng.Intn(3) == 0 {
+			in := rng.Intn(4) + 1
+			vc := rng.Intn(2)
+			if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket {
+				p := flow.NewPacket(id, 0, 1, now, -1)
+				for _, f := range flow.NewPacketFlits(p) {
+					f.VC = vc
+					r.Inputs[in].Arrive(f, now)
+				}
+			}
+		}
+		r.Tick(now, sim.Nanosecond)
+		for pt := 1; pt < cfg.Ports; pt++ {
+			out := r.Outputs[pt]
+			for out.QueuedTx() > 0 && rng.Intn(4) != 0 {
+				e := out.PopTx()
+				out.ReturnCredit(e.Flit().VC, now)
+			}
+		}
 	}
-	if a.BufReads != flow.FlitsPerPacket || a.Crossbar != flow.FlitsPerPacket {
-		t.Errorf("reads/crossbar = %d/%d, want %d each", a.BufReads, a.Crossbar, flow.FlitsPerPacket)
+
+	for cycle := 0; cycle < 8000; cycle++ {
+		now := sim.Time(cycle) * sim.Nanosecond
+		id := int64(cycle + 1)
+		drive(a, rngA, now, id)
+		drive(b, rngB, now, id)
+
+		if a.Activity != b.Activity {
+			t.Fatalf("cycle %d: activity diverged: worklist %+v, ref %+v", cycle, a.Activity, b.Activity)
+		}
+		for p := 0; p < cfg.Ports; p++ {
+			for v := 0; v < cfg.VCs; v++ {
+				g := p*cfg.VCs + v
+				if a.inStage[g] != b.inStage[g] || a.inCount[g] != b.inCount[g] ||
+					a.outCredits[g] != b.outCredits[g] || a.outHeldBy[g] != b.outHeldBy[g] {
+					t.Fatalf("cycle %d: VC (%d,%d) diverged: stage %v/%v count %d/%d credits %d/%d heldBy %d/%d",
+						cycle, p, v, a.inStage[g], b.inStage[g], a.inCount[g], b.inCount[g],
+						a.outCredits[g], b.outCredits[g], a.outHeldBy[g], b.outHeldBy[g])
+				}
+			}
+			ao, bo := a.Outputs[p], b.Outputs[p]
+			if ao.QueuedTx() != bo.QueuedTx() {
+				t.Fatalf("cycle %d: port %d tx depth %d vs %d", cycle, p, ao.QueuedTx(), bo.QueuedTx())
+			}
+			for i := 0; i < ao.QueuedTx(); i++ {
+				ea, eb := ao.TxAt(i), bo.TxAt(i)
+				if ea.ReadyAt() != eb.ReadyAt() || ea.Flit().Packet.ID != eb.Flit().Packet.ID ||
+					ea.Flit().Seq != eb.Flit().Seq || ea.Flit().VC != eb.Flit().VC {
+					t.Fatalf("cycle %d: port %d tx[%d] diverged", cycle, p, i)
+				}
+			}
+		}
 	}
-	// Grants: 1 VA + (input-stage + output-stage) per flit = 1 + 2*5 = 11.
-	if a.ArbGrants != 11 {
-		t.Errorf("arbiter grants = %d, want 11", a.ArbGrants)
+}
+
+// TestWorklistInvariants drives a router through randomized traffic with
+// Asserts on and checks the incremental allocator bookkeeping against the
+// ground-truth predicates after every cycle.
+func TestWorklistInvariants(t *testing.T) {
+	cfg := Config{Ports: 5, VCs: 2, BufPerPort: 16, PipelineDepth: 13}
+	r, err := New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
+	r.Asserts = true
+	r.RouteFn = func(p *flow.Packet, buf []routing.MaskCandidate) []routing.MaskCandidate {
+		return append(buf, routing.MaskCandidate{Port: 1 + int(p.ID)%4, VCMask: 0b11})
+	}
+	rng := sim.NewRNG(5)
+	var id int64
+	for cycle := 0; cycle < 6000; cycle++ {
+		now := sim.Time(cycle) * sim.Nanosecond
+		if rng.Intn(3) == 0 {
+			in := rng.Intn(4) + 1
+			vc := rng.Intn(2)
+			if r.Inputs[in].Free(vc) >= flow.FlitsPerPacket {
+				id++
+				p := flow.NewPacket(id, 0, 1, now, -1)
+				for _, f := range flow.NewPacketFlits(p) {
+					f.VC = vc
+					r.Inputs[in].Arrive(f, now)
+				}
+			}
+		}
+		r.Tick(now, sim.Nanosecond)
+		for pt := 1; pt < cfg.Ports; pt++ {
+			out := r.Outputs[pt]
+			for out.QueuedTx() > 0 && rng.Intn(3) != 0 {
+				e := out.PopTx()
+				out.ReturnCredit(e.Flit().VC, now)
+			}
+		}
+		if err := checkWorklistInvariants(r); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+// checkWorklistInvariants verifies the documented work-list invariants
+// against a full scan of the SoA state.
+func checkWorklistInvariants(r *Router) error {
+	inSet := make(map[int32]bool, len(r.vaSet))
+	for i, g := range r.vaSet {
+		if inSet[g] {
+			return fmt.Errorf("vaSet holds VC %d twice", g)
+		}
+		inSet[g] = true
+		if r.vaPos[g] != int32(i) {
+			return fmt.Errorf("vaPos[%d] = %d, want %d", g, r.vaPos[g], i)
+		}
+	}
+	waiting := 0
+	for g := 0; g < r.nvc; g++ {
+		isWaiting := r.inStage[g] == vcWaitingVC
+		if isWaiting {
+			waiting++
+		}
+		if isWaiting != inSet[int32(g)] {
+			return fmt.Errorf("VC %d: waiting=%v but vaSet membership=%v", g, isWaiting, inSet[int32(g)])
+		}
+		if !inSet[int32(g)] && r.vaPos[g] != -1 {
+			return fmt.Errorf("VC %d: stale vaPos %d", g, r.vaPos[g])
+		}
+		p, v := g/r.vcs, g%r.vcs
+		saBit := r.saMask[p]>>uint(v)&1 != 0
+		saWant := r.inStage[g] == vcActive && r.inCount[g] > 0
+		if saBit != saWant {
+			return fmt.Errorf("VC (%d,%d): saMask bit %v, predicate %v", p, v, saBit, saWant)
+		}
+	}
+	if waiting != r.vaWaiting {
+		return fmt.Errorf("vaWaiting = %d, scan found %d", r.vaWaiting, waiting)
+	}
+	for p := 0; p < r.ports; p++ {
+		portBit := r.saPorts>>uint(p)&1 != 0
+		if portBit != (r.saMask[p] != 0) {
+			return fmt.Errorf("port %d: saPorts bit %v, saMask %b", p, portBit, r.saMask[p])
+		}
+	}
+	for _, g := range r.vaReq {
+		if g != 0 {
+			return fmt.Errorf("vaReq not cleared between cycles")
+		}
+	}
+	return nil
 }

@@ -1,0 +1,92 @@
+package routing
+
+import "repro/internal/topology"
+
+// MaskCandidate is the allocation-free form of Candidate: an admissible
+// output port plus the downstream virtual channels encoded as a bitmask
+// (bit v set means VC v is admissible). Preference order within a
+// candidate is ascending VC index, which matches every VC set Route
+// returns: allVCs enumerates 0..n-1, the dateline classes are the
+// singletons {0} and {1}, and the adaptive escape prepend yields
+// {0, 1, .., n-1} — all ascending. Routers iterate set bits with
+// TrailingZeros, visiting VCs in exactly the slice order of Route.
+type MaskCandidate struct {
+	Port   int
+	VCMask uint32
+}
+
+// maskAll is the bitmask of VCs 0..n-1.
+func maskAll(n int) uint32 { return uint32(1)<<uint(n) - 1 }
+
+// RouteMask is the allocation-free twin of DimensionOrder.Route: it appends
+// the same candidates, in the same order, to buf and returns it. Callers
+// pass a buffer with spare capacity to keep the hot path allocation-free.
+func (DimensionOrder) RouteMask(t *topology.Cube, cur, dst, numVCs int, st State, buf []MaskCandidate) []MaskCandidate {
+	if cur == dst {
+		return append(buf, MaskCandidate{Port: topology.LocalPort, VCMask: maskAll(numVCs)})
+	}
+	for d := 0; d < t.N(); d++ {
+		cx, dx := t.Coord(cur, d), t.Coord(dst, d)
+		if cx == dx {
+			continue
+		}
+		dir := directionIn(t, cx, dx)
+		port := t.PortFor(d, dir)
+		if !t.Torus() {
+			return append(buf, MaskCandidate{Port: port, VCMask: maskAll(numVCs)})
+		}
+		wrapped := st.Wrapped && st.LastDim == d
+		return append(buf, MaskCandidate{Port: port, VCMask: datelineMask(t, cx, dir, wrapped, numVCs)})
+	}
+	return append(buf, MaskCandidate{Port: topology.LocalPort, VCMask: maskAll(numVCs)})
+}
+
+// datelineMask mirrors datelineVCs over bitmasks: bit 0 for the pre-wrap
+// class, bit 1 from the dateline hop onward.
+func datelineMask(t *topology.Cube, cx int, dir topology.Direction, wrapped bool, numVCs int) uint32 {
+	if numVCs < 2 {
+		panic("routing: torus dimension-order routing needs >= 2 VCs")
+	}
+	if wrapped {
+		return 1 << 1
+	}
+	if (dir == topology.Plus && cx == t.K()-1) || (dir == topology.Minus && cx == 0) {
+		return 1 << 1
+	}
+	return 1 << 0
+}
+
+// RouteMask is the allocation-free twin of MinimalAdaptive.Route: the same
+// candidates in the same order, with the escape VC (bit 0) admitted only on
+// the dimension-order output.
+func (MinimalAdaptive) RouteMask(t *topology.Cube, cur, dst, numVCs int, _ State, buf []MaskCandidate) []MaskCandidate {
+	if t.Torus() {
+		panic("routing: MinimalAdaptive supports meshes only")
+	}
+	if numVCs < 2 {
+		panic("routing: MinimalAdaptive needs >= 2 VCs (one escape + adaptive)")
+	}
+	if cur == dst {
+		return append(buf, MaskCandidate{Port: topology.LocalPort, VCMask: maskAll(numVCs)})
+	}
+	adaptive := maskAll(numVCs) &^ 1
+	start := len(buf)
+	escape := -1
+	for d := 0; d < t.N(); d++ {
+		cx, dx := t.Coord(cur, d), t.Coord(dst, d)
+		if cx == dx {
+			continue
+		}
+		port := t.PortFor(d, directionIn(t, cx, dx))
+		if escape == -1 {
+			escape = port // lowest unresolved dimension = DOR output
+		}
+		buf = append(buf, MaskCandidate{Port: port, VCMask: adaptive})
+	}
+	for i := start; i < len(buf); i++ {
+		if buf[i].Port == escape {
+			buf[i].VCMask |= 1
+		}
+	}
+	return buf
+}

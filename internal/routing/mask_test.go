@@ -1,0 +1,66 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// maskFromVCs converts a Candidate VC list to the bitmask RouteMask uses.
+func maskFromVCs(vcs []int) uint32 {
+	var m uint32
+	for _, v := range vcs {
+		m |= 1 << uint(v)
+	}
+	return m
+}
+
+// TestRouteMaskAgreement is the equivalence test promised by the Algorithm
+// interface: for every (topology, source, destination, dateline state) pair
+// both algorithms accept, RouteMask must append exactly Route's candidates —
+// same ports, same preference order, same VC sets. The router hot path
+// trusts RouteMask; the readable Route is the specification.
+func TestRouteMaskAgreement(t *testing.T) {
+	topos := []struct {
+		name string
+		topo *topology.Cube
+	}{
+		{"mesh8x8", topology.NewMesh2D(8)},
+		{"mesh4x4", topology.NewMesh2D(4)},
+		{"torus4x4", topology.New(4, 2, true)},
+		{"torus5x3d", topology.New(5, 3, true)},
+	}
+	states := []State{NewState(), {LastDim: 0}, {LastDim: 0, Wrapped: true}, {LastDim: 1, Wrapped: true}}
+	const numVCs = 2
+
+	for _, tc := range topos {
+		for _, algo := range []Algorithm{DimensionOrder{}, MinimalAdaptive{}} {
+			if _, ok := algo.(MinimalAdaptive); ok && tc.topo.Torus() {
+				continue // adaptive rejects tori
+			}
+			t.Run(fmt.Sprintf("%s/%s", tc.name, algo.Name()), func(t *testing.T) {
+				buf := make([]MaskCandidate, 0, tc.topo.Ports())
+				for cur := 0; cur < tc.topo.Nodes(); cur++ {
+					for dst := 0; dst < tc.topo.Nodes(); dst++ {
+						for _, st := range states {
+							want := algo.Route(tc.topo, cur, dst, numVCs, st)
+							got := algo.RouteMask(tc.topo, cur, dst, numVCs, st, buf[:0])
+							if len(got) != len(want) {
+								t.Fatalf("cur=%d dst=%d st=%+v: %d mask candidates, Route has %d",
+									cur, dst, st, len(got), len(want))
+							}
+							for i := range want {
+								if got[i].Port != want[i].Port || got[i].VCMask != maskFromVCs(want[i].VCs) {
+									t.Fatalf("cur=%d dst=%d st=%+v cand=%d: mask {%d %04b}, Route {%d %04b}",
+										cur, dst, st, i, got[i].Port, got[i].VCMask,
+										want[i].Port, maskFromVCs(want[i].VCs))
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Algorithm interface {
 	// st is the packet's dateline state, maintained by the network layer
 	// via State.Advance; it is only meaningful on tori.
 	Route(t *topology.Cube, cur, dst, numVCs int, st State) []Candidate
+	// RouteMask is the allocation-free form of Route used on the router hot
+	// path: it appends the same candidates, in the same preference order,
+	// to buf (VC sets as bitmasks) and returns it. Implementations must
+	// keep Route and RouteMask in exact agreement; the equivalence test in
+	// mask_test.go enforces it.
+	RouteMask(t *topology.Cube, cur, dst, numVCs int, st State, buf []MaskCandidate) []MaskCandidate
 	// Name identifies the algorithm in experiment output.
 	Name() string
 }

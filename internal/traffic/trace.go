@@ -1,0 +1,224 @@
+// Memoized traffic traces. Generating two-level self-similar traffic is
+// the dominant steady-state allocator in a sweep (per-session RNGs, ON/OFF
+// chain closures, sphere caches), and every policy-ablation point at one
+// (seed, rate, horizon) regenerates the identical arrival sequence — the
+// model's randomness is independent of the network it drives. Capture runs
+// the model once against a private scheduler and records the arrivals;
+// the resulting Trace is an immutable Model that replays them with zero
+// steady-state allocation, shared read-only across concurrent sweeps.
+package traffic
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Arrival is one recorded packet injection.
+type Arrival struct {
+	At   sim.Time
+	Task int64
+	// Src and Dst are int32 to keep traces compact; node counts are far
+	// below 2^31.
+	Src, Dst int32
+}
+
+// Trace is a recorded injection schedule. It implements Model: Launch
+// replays the arrivals through a chained batch-event walk (one scheduler
+// event per distinct timestamp), preserving the pre-scheduled-chain
+// contract that quiescent fast-forward depends on. A Trace is immutable
+// after Capture and safe to share across concurrently running simulations.
+type Trace struct {
+	name     string
+	horizon  sim.Time
+	arrivals []Arrival
+}
+
+// Name implements Model; it reports the captured model's name so
+// experiment output is identical whether a point ran live or from a trace.
+func (t *Trace) Name() string { return t.name }
+
+// Len reports the number of recorded arrivals.
+func (t *Trace) Len() int { return len(t.arrivals) }
+
+// Horizon reports the horizon the trace was captured with.
+func (t *Trace) Horizon() sim.Time { return t.horizon }
+
+// At returns the i-th recorded arrival.
+func (t *Trace) At(i int) Arrival { return t.arrivals[i] }
+
+// Capture runs m against a private scheduler and records every injection
+// up to horizon. The recorded sequence is exactly the sequence the model
+// would deliver to a live network: model event chains consume only their
+// own RNG state and their own event times, never network state.
+func Capture(m Model, horizon sim.Time) *Trace {
+	var sched sim.Scheduler
+	tr := &Trace{name: m.Name(), horizon: horizon}
+	m.Launch(&sched, horizon, func(src, dst int, now sim.Time, task int64) {
+		tr.arrivals = append(tr.arrivals, Arrival{At: now, Task: task, Src: int32(src), Dst: int32(dst)})
+	})
+	sched.RunUntil(horizon)
+	return tr
+}
+
+// replay walks a trace's arrivals as a chained scheduler event: each firing
+// injects every arrival sharing the current timestamp, then arms itself for
+// the next distinct timestamp. One closure is allocated per Launch; the
+// steady state allocates nothing.
+type replay struct {
+	tr     *Trace
+	sched  *sim.Scheduler
+	inject Injector
+	i      int
+	step   func()
+}
+
+// Launch implements Model. The horizon must equal the capture horizon:
+// models consult the horizon when arming their chains, so replaying a
+// trace against a different horizon would not match a live run.
+func (t *Trace) Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector) {
+	if horizon != t.horizon {
+		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+	}
+	if len(t.arrivals) == 0 {
+		return
+	}
+	r := &replay{tr: t, sched: sched, inject: inject}
+	r.step = func() {
+		arr := r.tr.arrivals
+		i := r.i
+		at := arr[i].At
+		for i < len(arr) && arr[i].At == at {
+			a := arr[i]
+			r.inject(int(a.Src), int(a.Dst), at, a.Task)
+			i++
+		}
+		r.i = i
+		if i < len(arr) {
+			r.sched.At(arr[i].At, r.step)
+		}
+	}
+	sched.At(t.arrivals[0].At, r.step)
+}
+
+// Trace cache: policy ablations sweep many (policy, threshold) variants
+// over the same (seed, rate, pattern, horizon) workload; the cache lets
+// them all share one captured trace. Budgets are in arrivals (24 bytes
+// each): points whose estimated trace would exceed perTraceArrivalBudget
+// are not captured at all (callers fall back to the live model), and the
+// cache evicts oldest-first once completed traces together exceed
+// totalTraceArrivalBudget.
+const (
+	perTraceArrivalBudget   = 1_500_000
+	totalTraceArrivalBudget = 4_000_000
+)
+
+// traceKey identifies one two-level workload: the full parameter set, the
+// topology shape, and the horizon (chains are armed against it).
+type traceKey struct {
+	p       TwoLevelParams
+	k, n    int
+	torus   bool
+	horizon sim.Time
+}
+
+// traceFlight is one singleflight slot: done closes when tr is ready.
+// tr stays nil when the model could not be built.
+type traceFlight struct {
+	done chan struct{}
+	tr   *Trace
+}
+
+var traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceFlight
+	order   []traceKey // insertion order, for eviction
+	total   int64      // arrivals across completed entries
+}
+
+// SharedTwoLevelTrace returns the memoized trace for a two-level workload,
+// capturing it on first use. Concurrent callers asking for the same key
+// share one capture (singleflight). It returns nil — caller should run the
+// live model — when the estimated trace size exceeds the per-trace budget.
+func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time) *Trace {
+	if p.CyclePeriod <= 0 {
+		return nil
+	}
+	cycles := float64(horizon) / float64(p.CyclePeriod)
+	if est := p.TotalRate * cycles; est > perTraceArrivalBudget {
+		return nil
+	}
+	key := traceKey{p: p, k: topo.K(), n: topo.N(), torus: topo.Torus(), horizon: horizon}
+
+	traceCache.mu.Lock()
+	if f, ok := traceCache.entries[key]; ok {
+		traceCache.mu.Unlock()
+		<-f.done
+		return f.tr
+	}
+	if traceCache.entries == nil {
+		traceCache.entries = make(map[traceKey]*traceFlight)
+	}
+	f := &traceFlight{done: make(chan struct{})}
+	traceCache.entries[key] = f
+	traceCache.order = append(traceCache.order, key)
+	traceCache.mu.Unlock()
+
+	if m, err := NewTwoLevel(p, topo); err == nil {
+		f.tr = Capture(m, horizon)
+	}
+	traceCache.mu.Lock()
+	if f.tr != nil {
+		traceCache.total += int64(f.tr.Len())
+	}
+	evictTracesLocked(key)
+	traceCache.mu.Unlock()
+	close(f.done)
+	return f.tr
+}
+
+// evictTracesLocked drops the oldest completed traces (never the one just
+// inserted) until the total arrival budget holds. Evicted traces stay valid
+// for holders of the pointer; they are simply no longer shared.
+func evictTracesLocked(keep traceKey) {
+	if traceCache.total <= totalTraceArrivalBudget {
+		return
+	}
+	kept := traceCache.order[:0]
+	for i, key := range traceCache.order {
+		f, ok := traceCache.entries[key]
+		evict := ok && key != keep && traceCache.total > totalTraceArrivalBudget
+		if evict {
+			select {
+			case <-f.done: // completed: safe to drop
+			default:
+				evict = false // in flight: its size is unknown
+			}
+		}
+		if evict {
+			delete(traceCache.entries, key)
+			if f.tr != nil {
+				traceCache.total -= int64(f.tr.Len())
+			}
+		} else if ok {
+			kept = append(kept, key)
+		}
+		if traceCache.total <= totalTraceArrivalBudget {
+			kept = append(kept, traceCache.order[i+1:]...)
+			break
+		}
+	}
+	traceCache.order = kept
+}
+
+// ResetTraceCache drops every memoized trace. Tests and benchmarks use it
+// to measure real capture work or to force live-model runs.
+func ResetTraceCache() {
+	traceCache.mu.Lock()
+	traceCache.entries = nil
+	traceCache.order = nil
+	traceCache.total = 0
+	traceCache.mu.Unlock()
+}

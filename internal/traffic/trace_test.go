@@ -1,0 +1,149 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testTwoLevel(t *testing.T, rate float64, seed uint64) *TwoLevel {
+	t.Helper()
+	p := NewTwoLevelParams(rate)
+	p.Seed = seed
+	m, err := NewTwoLevel(p, topology.NewMesh2D(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Capturing the same workload twice must record the identical sequence: a
+// model's randomness depends only on its own parameters, never on what the
+// trace (or network) downstream does with the injections.
+func TestCaptureDeterminism(t *testing.T) {
+	horizon := 20 * sim.Microsecond
+	a := Capture(testTwoLevel(t, 1.0, 7), horizon)
+	b := Capture(testTwoLevel(t, 1.0, 7), horizon)
+	if a.Len() == 0 {
+		t.Fatal("capture recorded no arrivals")
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("capture lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a.At(i), b.At(i))
+		}
+	}
+}
+
+// Replaying a trace must deliver exactly the recorded sequence — same
+// order, same timestamps — through the chained batch-event walk, and the
+// replay's scheduler Now must match each arrival's recorded time (the
+// injector contract a live network depends on).
+func TestReplayMatchesCapture(t *testing.T) {
+	horizon := 20 * sim.Microsecond
+	tr := Capture(testTwoLevel(t, 1.0, 11), horizon)
+	var sched sim.Scheduler
+	i := 0
+	tr.Launch(&sched, horizon, func(src, dst int, at sim.Time, task int64) {
+		if i >= tr.Len() {
+			t.Fatalf("replay injected more than the %d recorded arrivals", tr.Len())
+		}
+		want := tr.At(i)
+		got := Arrival{At: at, Task: task, Src: int32(src), Dst: int32(dst)}
+		if got != want {
+			t.Fatalf("replay arrival %d = %+v, want %+v", i, got, want)
+		}
+		if sched.Now() != want.At {
+			t.Fatalf("replay arrival %d fired at scheduler time %v, recorded %v", i, sched.Now(), want.At)
+		}
+		i++
+	})
+	sched.RunUntil(horizon)
+	if i != tr.Len() {
+		t.Fatalf("replay delivered %d of %d arrivals", i, tr.Len())
+	}
+}
+
+// The replay chain must keep its next firing visible to PeekTime while
+// arrivals remain — quiescent fast-forward bounds its jumps by it.
+func TestReplayKeepsNextEventPending(t *testing.T) {
+	horizon := 10 * sim.Microsecond
+	tr := Capture(testTwoLevel(t, 0.5, 3), horizon)
+	if tr.Len() < 2 {
+		t.Skip("trace too short to observe chaining")
+	}
+	var sched sim.Scheduler
+	n := 0
+	tr.Launch(&sched, horizon, func(int, int, sim.Time, int64) { n++ })
+	for sched.Step() {
+		if n < tr.Len() && sched.PeekTime() == sim.Infinity {
+			t.Fatal("no pending replay event while arrivals remain")
+		}
+	}
+	if n != tr.Len() {
+		t.Fatalf("delivered %d of %d arrivals", n, tr.Len())
+	}
+}
+
+func TestReplayHorizonMismatchPanics(t *testing.T) {
+	horizon := 5 * sim.Microsecond
+	tr := Capture(testTwoLevel(t, 0.5, 3), horizon)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("replay with a different horizon did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "horizon") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	var sched sim.Scheduler
+	tr.Launch(&sched, horizon+1, func(int, int, sim.Time, int64) {})
+}
+
+func TestSharedTwoLevelTrace(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	topo := topology.NewMesh2D(8)
+	p := NewTwoLevelParams(1.0)
+	p.Seed = 9
+	horizon := 10 * sim.Microsecond
+
+	a := SharedTwoLevelTrace(p, topo, horizon)
+	if a == nil {
+		t.Fatal("trace under budget was not captured")
+	}
+	if b := SharedTwoLevelTrace(p, topo, horizon); b != a {
+		t.Error("second request did not share the cached trace")
+	}
+	p2 := p
+	p2.Seed = 10
+	if c := SharedTwoLevelTrace(p2, topo, horizon); c == a {
+		t.Error("distinct seed shared the same trace")
+	}
+
+	// A point whose estimated arrivals exceed the per-trace budget must
+	// decline (callers fall back to the live model).
+	big := NewTwoLevelParams(4.0)
+	if tr := SharedTwoLevelTrace(big, topo, sim.Time(perTraceArrivalBudget)*big.CyclePeriod); tr != nil {
+		t.Error("over-budget trace was captured")
+	}
+
+	ResetTraceCache()
+	if b := SharedTwoLevelTrace(p, topo, horizon); b == a {
+		t.Error("ResetTraceCache did not drop the cached trace")
+	}
+}
+
+// The trace must keep the captured model's name: experiment output embeds
+// it, and a point must render identically whether it ran live or replayed.
+func TestTraceName(t *testing.T) {
+	m := testTwoLevel(t, 0.5, 3)
+	if tr := Capture(m, sim.Microsecond); tr.Name() != m.Name() {
+		t.Fatalf("trace name %q, want %q", tr.Name(), m.Name())
+	}
+}
