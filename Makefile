@@ -7,11 +7,12 @@
 #   make short   # go test -short ./... — structural tests only, < 60 s
 #   make race    # full test suite under the race detector
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
-#   make bench   # end-to-end Step + scheduler + packet-alloc benchmarks;
-#                # set BENCH_COUNT=10 for benchstat-ready samples
-#   make bench-json # regenerate the committed BENCH_pr4.json trajectory
-#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr3.json;
-#                # fails on a >10% ns/op or allocs/op regression
+#   make bench   # end-to-end Step + run-cache + scheduler + packet-alloc
+#                # benchmarks; set BENCH_COUNT=10 for benchstat samples
+#   make bench-json # regenerate the committed BENCH_pr6.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr4.json
+#                # (the previous PR's committed baseline); fails on a >10%
+#                # ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
 #
 # `make short` skips the long simulations (testing.Short()); run `make test`
@@ -20,11 +21,13 @@
 
 GO ?= go
 
-# Packages with concurrency of their own: the experiment harness fan-out
-# and the public facade. internal/network rides along so the parallel
-# harness exercises the activity-driven core (active list + fast-forward)
-# under the race detector. Everything else is single-threaded simulation.
-RACE_FAST = ./internal/sim ./internal/stats ./noc ./internal/network
+# Packages with concurrency of their own: the experiment harness fan-out,
+# the persistent run cache (shared-directory stores under concurrent
+# readers/writers) and the public facade. internal/network rides along so
+# the parallel harness exercises the activity-driven core (active list +
+# fast-forward) under the race detector. Everything else is
+# single-threaded simulation.
+RACE_FAST = ./internal/sim ./internal/stats ./internal/runcache ./noc ./internal/network
 
 # Repetitions for `make bench`; benchstat wants >= 10 samples.
 BENCH_COUNT ?= 1
@@ -63,14 +66,15 @@ fuzz:
 # `make bench BENCH_COUNT=10 > new.txt`, `benchstat old.txt new.txt`.
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkStep(LowLoad|Saturation)' -benchmem -count=$(BENCH_COUNT)
+	$(GO) test . -run xxx -bench 'BenchmarkRunAll(Cold|Warm)Cache' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json
 
 bench-diff:
-	$(GO) run ./cmd/benchjson -out BENCH_pr4.json -baseline BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -baseline BENCH_pr4.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

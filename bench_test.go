@@ -126,6 +126,15 @@ func BenchmarkFiguresSequential(b *testing.B) { benchFigures(b, 1) }
 // bandwidth intervenes).
 func BenchmarkFiguresParallel(b *testing.B) { benchFigures(b, 0) }
 
+// BenchmarkRunAllColdCache measures a fig10 regeneration on the tiny test
+// budget with every point missing the persistent run cache (a fresh cache
+// generation per iteration), i.e. the simulate-and-store path.
+func BenchmarkRunAllColdCache(b *testing.B) { bench.FiguresRunAll(b, false) }
+
+// BenchmarkRunAllWarmCache is the same regeneration replayed entirely from
+// disk; the cold/warm ratio is the headline number of the result cache.
+func BenchmarkRunAllWarmCache(b *testing.B) { bench.FiguresRunAll(b, true) }
+
 // --- Activity-driven core benchmarks -------------------------------------
 
 // BenchmarkStepLowLoad measures router-cycle throughput at a near-idle

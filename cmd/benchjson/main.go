@@ -1,19 +1,22 @@
 // Command benchjson runs the repository's benchmark trajectory — the
 // end-to-end Step benchmarks at low load and saturation (with the
-// activity-driven core on and off) plus the scheduler and packet-alloc
-// micro-benchmarks — and writes the results as machine-readable JSON.
+// activity-driven core on and off), the cold- and warm-cache experiment
+// regenerations, plus the scheduler and packet-alloc micro-benchmarks — and
+// writes the results as machine-readable JSON.
 //
-//	benchjson -out BENCH_pr4.json
-//	benchjson -baseline BENCH_pr3.json                     # run, then diff
-//	benchjson -in BENCH_pr4.json -baseline BENCH_pr3.json  # diff two files
+//	benchjson -out BENCH_pr6.json
+//	benchjson -baseline BENCH_pr4.json                     # run, then diff
+//	benchjson -in BENCH_pr6.json -baseline BENCH_pr4.json  # diff two files
 //
-// The committed BENCH_pr4.json pins this PR's measured curve so future
+// The committed BENCH_pr6.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
 //
 // With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
 // printed and the exit status is 1 when any benchmark regressed by more
 // than 10% — informational on CI (continue-on-error), a hard gate for
-// local use.
+// local use. Benchmarks absent from the baseline are listed as "new",
+// baseline benchmarks absent from the current run as "gone"; neither
+// counts toward the regression exit status.
 package main
 
 import (
@@ -57,15 +60,21 @@ type report struct {
 type summary struct {
 	LowLoadSpeedupX        float64 `json:"low_load_speedup_x"`
 	SaturationOverheadFrac float64 `json:"saturation_overhead_frac"`
-	Note                   string  `json:"note,omitempty"`
+	// WarmCacheSpeedupX is how much faster a fig10 regeneration replays
+	// from the persistent run cache than it simulates cold.
+	WarmCacheSpeedupX float64 `json:"warm_cache_speedup_x,omitempty"`
+	Note              string  `json:"note,omitempty"`
 }
 
-// summaryNote qualifies the speedup figure: the -noskip baseline in this
-// binary already carries the PR's datapath optimizations, so the
-// comparison understates the end-to-end win over the pre-change tree.
-const summaryNote = "low_load_speedup_x compares against -noskip in the same binary, which " +
-	"already includes this PR's zero-alloc datapath; diff against the committed " +
-	"BENCH_pr3.json (benchjson -baseline BENCH_pr3.json) for the cross-PR trajectory."
+// summaryNote qualifies the speedup figures: the -noskip baseline in this
+// binary already carries the datapath optimizations, so the comparison
+// understates the end-to-end win over the pre-change tree, and the
+// warm-cache ratio is measured on the tiny benchmark budget (real budgets
+// widen it, since disk replay cost is budget-independent).
+const summaryNote = "low_load_speedup_x compares against -noskip in the same binary; " +
+	"warm_cache_speedup_x compares a fig10 regeneration replayed from the persistent " +
+	"run cache against a cold simulate on the tiny benchmark budget; diff against the " +
+	"committed BENCH_pr4.json (benchjson -baseline BENCH_pr4.json) for the cross-PR trajectory."
 
 // regressionThreshold is the fractional slowdown (ns/op) or allocation
 // growth (allocs/op) above which a benchmark counts as regressed.
@@ -91,6 +100,8 @@ func runAll() []result {
 		measure("StepLowLoadNoSkip", func(b *testing.B) { bench.Step(b, bench.LowLoadRate, true) }),
 		measure("StepSaturation", func(b *testing.B) { bench.Step(b, bench.SaturationRate, false) }),
 		measure("StepSaturationNoSkip", func(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }),
+		measure("RunAllColdCache", func(b *testing.B) { bench.FiguresRunAll(b, false) }),
+		measure("RunAllWarmCache", func(b *testing.B) { bench.FiguresRunAll(b, true) }),
 		measure("SchedulerPushPop", bench.SchedulerPushPop),
 		measure("PacketAlloc", bench.PacketAlloc),
 	}
@@ -110,17 +121,25 @@ func readReport(path string) (report, error) {
 
 // diff prints per-benchmark deltas against a baseline report and reports
 // whether any benchmark regressed beyond the threshold. Benchmarks absent
-// from the baseline are listed as new and never count as regressions.
+// from the baseline are listed as "new", baseline benchmarks missing from
+// the current run as "gone"; neither counts as a regression — only a
+// benchmark present on both sides can regress.
 func diff(base report, cur []result) (regressed bool) {
 	byName := map[string]result{}
 	for _, r := range base.Results {
 		byName[r.Name] = r
 	}
+	curNames := map[string]bool{}
+	for _, r := range cur {
+		curNames[r.Name] = true
+	}
+	added, gone := 0, 0
 	fmt.Printf("%-24s %14s %14s %8s %16s %6s\n",
 		"benchmark", "base ns/op", "now ns/op", "delta", "allocs/op", "flag")
 	for _, now := range cur {
 		b, ok := byName[now.Name]
 		if !ok {
+			added++
 			fmt.Printf("%-24s %14s %14.1f %8s %16s %6s\n",
 				now.Name, "-", now.NsPerOp, "-", fmt.Sprintf("- -> %d", now.AllocsPerOp), "new")
 			continue
@@ -149,6 +168,18 @@ func diff(base report, cur []result) (regressed bool) {
 			now.Name, b.NsPerOp, now.NsPerOp, 100*nsPct,
 			fmt.Sprintf("%d -> %d", b.AllocsPerOp, now.AllocsPerOp), mark)
 	}
+	// Baseline benchmarks the current run no longer has: renames and
+	// removals surface here instead of silently vanishing from the table.
+	for _, b := range base.Results {
+		if !curNames[b.Name] {
+			gone++
+			fmt.Printf("%-24s %14.1f %14s %8s %16s %6s\n",
+				b.Name, b.NsPerOp, "-", "-", fmt.Sprintf("%d -> -", b.AllocsPerOp), "gone")
+		}
+	}
+	if added > 0 || gone > 0 {
+		fmt.Printf("benchmarks: %d new, %d gone (informational, never regressions)\n", added, gone)
+	}
 	return regressed
 }
 
@@ -158,7 +189,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_pr6.json", "output file (- for stdout)")
 	in := flag.String("in", "", "read results from this report instead of running benchmarks")
 	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
 	flag.Parse()
@@ -191,9 +222,13 @@ func main() {
 	if sat, base := byName["StepSaturation"], byName["StepSaturationNoSkip"]; base.NsPerOp > 0 {
 		rep.Summary.SaturationOverheadFrac = sat.NsPerOp/base.NsPerOp - 1
 	}
+	if warm, cold := byName["RunAllWarmCache"], byName["RunAllColdCache"]; warm.NsPerOp > 0 {
+		rep.Summary.WarmCacheSpeedupX = cold.NsPerOp / warm.NsPerOp
+	}
 	rep.Summary.Note = summaryNote
-	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%\n",
-		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac)
+	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx\n",
+		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac,
+		rep.Summary.WarmCacheSpeedupX)
 
 	if *in == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -10,6 +10,12 @@
 // Simulation points fan out across -j worker goroutines (default
 // GOMAXPROCS). Output is bit-for-bit identical at every -j: each point is
 // independently seeded and tables assemble in fixed order.
+//
+// Finished results persist in a content-addressed run cache (default: the
+// user cache directory), so an unchanged rerun replays stored results
+// byte-identically instead of re-simulating; entries invalidate on code
+// revision or parameter change. -no-cache recomputes everything; -cachestats
+// reports hit/miss counters on stderr.
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 		auditFlag  = flag.Bool("audit", false, "run every simulation under the runtime invariant checker (slower, same output)")
 		noskip     = flag.Bool("noskip", false, "disable the activity-driven simulation core (slower, same output)")
 		jobs       = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; recompute everything")
+		cacheStats = flag.Bool("cachestats", false, "print run-cache counters to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -51,6 +60,16 @@ func main() {
 	}
 
 	noc.SetExperimentParallelism(*jobs)
+
+	if !*noCache {
+		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
+			// A cache that won't open costs speed, not correctness.
+			fmt.Fprintln(os.Stderr, "figures: run cache disabled:", err)
+		}
+	}
+	if *cacheStats {
+		defer printCacheStats()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,4 +121,14 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// printCacheStats emits the run-cache counters in a stable, greppable
+// one-line format (CI asserts on hits/misses after a warm rerun).
+func printCacheStats() {
+	s := noc.RunCacheStats()
+	fmt.Fprintf(os.Stderr,
+		"runcache: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
+		s.Hits, s.Misses, s.Puts, s.CorruptDropped, s.Evictions,
+		s.BytesRead, s.BytesWritten, s.HitRate())
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,9 @@ func main() {
 		traceK   = flag.String("tracekind", "", "trace filter: inject | deliver | transition | policy")
 
 		jobs       = flag.Int("j", 0, "max OS threads for this process (0 = GOMAXPROCS); one simulation is single-threaded, this bounds GC/runtime helpers when profiling")
+		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
+		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; always simulate")
+		cacheStats = flag.Bool("cachestats", false, "print run-cache counters to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
@@ -125,6 +129,37 @@ func main() {
 		os.Exit(1)
 	}
 
+	if !*noCache {
+		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
+			// A cache that won't open costs speed, not correctness.
+			fmt.Fprintln(os.Stderr, "netsim: run cache disabled:", err)
+		}
+	}
+	if *cacheStats {
+		defer printCacheStats()
+	}
+	// A summary is cacheable only when nothing live-only was requested:
+	// profiles, traces, level histograms, skip statistics and audit counters
+	// exist only on a real run.
+	cacheable := !*noCache && !cfg.Audit && !*skipst && !*levels && *traceN == 0 &&
+		*cpuprofile == "" && *memprofile == ""
+	var cacheKey string
+	if cacheable {
+		cfgJSON, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		cacheKey = fmt.Sprintf("netsim|cfg=%s|traffic=%s|rate=%g|tasks=%d|taskdur=%d|warmup=%d|cycles=%d|seed=%d",
+			cfgJSON, *traffic, *rate, *tasks, int64(*taskDur), *warmup, *measure, *seed)
+		var cs cachedSummary
+		if noc.RunCacheLookup(cacheKey, &cs) {
+			printSummary(cs.Results, cs.InFlight, *mesh, *torus, *policy, *routing,
+				*traffic, *rate, *tasks, *taskDur, *warmup)
+			return
+		}
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -141,6 +176,9 @@ func main() {
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
+	if cacheable {
+		noc.RunCacheStore(cacheKey, cachedSummary{Results: r, InFlight: n.InFlight()})
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -154,17 +192,8 @@ func main() {
 		f.Close()
 	}
 
-	fmt.Printf("platform   : %dx%d mesh(torus=%v), policy=%s, routing=%s\n",
-		*mesh, *mesh, *torus, *policy, *routing)
-	fmt.Printf("workload   : %s rate=%.2f (tasks=%d, dur=%v)\n", *traffic, *rate, *tasks, *taskDur)
-	fmt.Printf("cycles     : %d measured after %d warmup\n", r.Cycles, *warmup)
-	fmt.Printf("packets    : %d injected, %d delivered, %d in flight\n",
-		r.InjectedPackets, r.DeliveredPackets, n.InFlight())
-	fmt.Printf("latency    : %.1f cycles mean (P50 %.0f, P99 %.0f)\n",
-		r.MeanLatencyCycles, r.P50LatencyCycles, r.P99LatencyCycles)
-	fmt.Printf("throughput : %.3f packets/cycle\n", r.ThroughputPkts)
-	fmt.Printf("power      : %.1f W avg (%.3f of non-DVS baseline, %.2fX savings)\n",
-		r.AvgPowerW, r.NormalizedPower, r.PowerSavingsX)
+	printSummary(r, n.InFlight(), *mesh, *torus, *policy, *routing,
+		*traffic, *rate, *tasks, *taskDur, *warmup)
 	if s, ok := n.AuditStats(); ok {
 		fmt.Printf("audit      : %d scans, %d checks, %d violations\n",
 			s.Scans, s.Checks, s.Violations)
@@ -185,6 +214,39 @@ func main() {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 		}
 	}
+}
+
+// cachedSummary is the persistent form of one run's summary: everything the
+// default output needs, so a cache hit prints without simulating.
+type cachedSummary struct {
+	Results  noc.Results
+	InFlight int64
+}
+
+// printSummary renders the standard result block for a live or cached run.
+func printSummary(r noc.Results, inFlight int64, mesh int, torus bool, policy, routing,
+	traffic string, rate float64, tasks int, taskDur time.Duration, warmup int64) {
+	fmt.Printf("platform   : %dx%d mesh(torus=%v), policy=%s, routing=%s\n",
+		mesh, mesh, torus, policy, routing)
+	fmt.Printf("workload   : %s rate=%.2f (tasks=%d, dur=%v)\n", traffic, rate, tasks, taskDur)
+	fmt.Printf("cycles     : %d measured after %d warmup\n", r.Cycles, warmup)
+	fmt.Printf("packets    : %d injected, %d delivered, %d in flight\n",
+		r.InjectedPackets, r.DeliveredPackets, inFlight)
+	fmt.Printf("latency    : %.1f cycles mean (P50 %.0f, P99 %.0f)\n",
+		r.MeanLatencyCycles, r.P50LatencyCycles, r.P99LatencyCycles)
+	fmt.Printf("throughput : %.3f packets/cycle\n", r.ThroughputPkts)
+	fmt.Printf("power      : %.1f W avg (%.3f of non-DVS baseline, %.2fX savings)\n",
+		r.AvgPowerW, r.NormalizedPower, r.PowerSavingsX)
+}
+
+// printCacheStats emits the run-cache counters in a stable, greppable
+// one-line format.
+func printCacheStats() {
+	s := noc.RunCacheStats()
+	fmt.Fprintf(os.Stderr,
+		"runcache: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
+		s.Hits, s.Misses, s.Puts, s.CorruptDropped, s.Evictions,
+		s.BytesRead, s.BytesWritten, s.HitRate())
 }
 
 // printSkipStats summarizes the activity-driven core's work avoidance.

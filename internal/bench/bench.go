@@ -6,10 +6,14 @@
 package bench
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/flow"
 	"repro/internal/network"
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -61,6 +65,59 @@ func Step(b *testing.B, rate float64, noskip bool) {
 	}
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "cycles/sec")
+	}
+}
+
+// FiguresRunAll measures a full experiment-harness regeneration (the fig10
+// latency/power sweep) against the persistent run cache, on the tiny test
+// budget so iterations stay sub-second. With warmCache the store is
+// pre-populated and every iteration replays disk entries; without it each
+// iteration runs under a fresh cache generation so every point misses and
+// simulates. The in-memory memo is reset outside the timed region either
+// way, so the pair isolates disk-replay versus simulate cost — the
+// cold-to-warm ratio is the headline number of the result cache.
+func FiguresRunAll(b *testing.B, warmCache bool) {
+	dir, err := os.MkdirTemp("", "runcache-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp.SetTinyBudget(true)
+	exp.ResetCaches()
+	defer func() {
+		exp.SetDiskCache(nil)
+		exp.SetTinyBudget(false)
+		exp.ResetCaches()
+		os.RemoveAll(dir)
+	}()
+	ids := []string{"fig10"}
+	o := exp.Options{Quick: true}
+	open := func(fingerprint string) {
+		s, err := runcache.Open(dir, runcache.Options{Fingerprint: fingerprint})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.SetDiskCache(s)
+	}
+	if warmCache {
+		open("bench-warm")
+		if _, err := exp.RunAll(ids, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		exp.ResetCaches()
+		if !warmCache {
+			// A fresh fingerprint generation guarantees cold misses without
+			// clearing the directory inside the timed region.
+			open(fmt.Sprintf("bench-gen-%d", i))
+		}
+		b.StartTimer()
+		if _, err := exp.RunAll(ids, o); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -127,6 +127,43 @@ func init() {
 	register("abl-routerpower", "check: router-core power barely varies with DVS (Sec 4.2)", runAblRouterPower)
 }
 
+// routerPowerPayload is the persistent form of one router-power variant.
+type routerPowerPayload struct {
+	CoreW, LinkW float64
+}
+
+// measureRouterPower simulates one policy variant and reports mean
+// router-core and link power over the measurement window.
+func measureRouterPower(s spec, o Options, warm, meas int64) (coreW, linkW float64) {
+	withSimSlot(func() {
+		n, m, horizon := s.build(o, warm+meas+1)
+		model := power.NewRouterEnergyModel(n.Table, 4, n.Cfg.RouterPeriod)
+		n.Launch(m, horizon)
+		n.Run(warm)
+		base := make([]router.Activity, len(n.Routers))
+		for i, r := range n.Routers {
+			base[i] = r.ActivitySnapshot()
+		}
+		n.BeginMeasurement()
+		n.Run(meas)
+		elapsed := sim.Duration(meas) * n.Cfg.RouterPeriod
+		coreJ := 0.0
+		for i, r := range n.Routers {
+			a := r.ActivitySnapshot()
+			d := router.Activity{
+				BufWrites: a.BufWrites - base[i].BufWrites,
+				BufReads:  a.BufReads - base[i].BufReads,
+				Crossbar:  a.Crossbar - base[i].Crossbar,
+				ArbGrants: a.ArbGrants - base[i].ArbGrants,
+			}
+			coreJ += model.EnergyJ(d, elapsed)
+		}
+		r := n.Snapshot()
+		coreW, linkW = coreJ/elapsed.Seconds(), r.AvgPowerW
+	})
+	return coreW, linkW
+}
+
 // runAblRouterPower quantifies the claim the paper uses to justify ignoring
 // router power: DVS slows links, which can only add arbitration retries —
 // the cheapest router event — while buffer and crossbar energy track the
@@ -137,35 +174,13 @@ func runAblRouterPower(o Options) []Table {
 		Header: []string{"variant", "router core (W)", "links (W)", "core delta", "link delta"},
 	}
 	warm, meas := o.budget()
-	measureOne := func(policy network.PolicyKind) (coreW, linkW float64) {
-		withSimSlot(func() {
-			s := defaultSpec(2.0, policy)
-			n, m, horizon := s.build(o, warm+meas+1)
-			model := power.NewRouterEnergyModel(n.Table, 4, n.Cfg.RouterPeriod)
-			n.Launch(m, horizon)
-			n.Run(warm)
-			base := make([]router.Activity, len(n.Routers))
-			for i, r := range n.Routers {
-				base[i] = r.ActivitySnapshot()
-			}
-			n.BeginMeasurement()
-			n.Run(meas)
-			elapsed := sim.Duration(meas) * n.Cfg.RouterPeriod
-			coreJ := 0.0
-			for i, r := range n.Routers {
-				a := r.ActivitySnapshot()
-				d := router.Activity{
-					BufWrites: a.BufWrites - base[i].BufWrites,
-					BufReads:  a.BufReads - base[i].BufReads,
-					Crossbar:  a.Crossbar - base[i].Crossbar,
-					ArbGrants: a.ArbGrants - base[i].ArbGrants,
-				}
-				coreJ += model.EnergyJ(d, elapsed)
-			}
-			r := n.Snapshot()
-			coreW, linkW = coreJ/elapsed.Seconds(), r.AvgPowerW
+	measureOne := func(policy network.PolicyKind) (float64, float64) {
+		s := defaultSpec(2.0, policy)
+		p := cached("ablrouterpower|"+s.cacheKey(o), func() (p routerPowerPayload) {
+			p.CoreW, p.LinkW = measureRouterPower(s, o, warm, meas)
+			return p
 		})
-		return coreW, linkW
+		return p.CoreW, p.LinkW
 	}
 	// The two variants are independent simulations; run them concurrently.
 	var coreBase, linkBase, coreDVS, linkDVS float64

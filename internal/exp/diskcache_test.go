@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runcache"
+)
+
+// withTestDiskCache installs a persistent store on a fresh directory with a
+// fixed test fingerprint (test binaries carry no VCS stamp, so the real
+// fingerprint would not isolate tests) and returns it; cleanup removes the
+// store and drops the in-memory caches the test populated.
+func withTestDiskCache(t *testing.T) (*runcache.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := runcache.Open(dir, runcache.Options{Fingerprint: "exp-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDiskCache(s)
+	t.Cleanup(func() {
+		SetDiskCache(nil)
+		ResetCaches()
+	})
+	return s, dir
+}
+
+// corruptAllEntries flips one payload byte in every cache entry under dir.
+func corruptAllEntries(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-1] ^= 0xff
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no cache entries to corrupt")
+	}
+}
+
+// render produces the exact experiment bytes cmd/figures prints.
+func render(t *testing.T, ids []string, o Options) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, id := range ids {
+		tabs, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, tab := range tabs {
+			tab.Fprint(&sb)
+		}
+	}
+	return sb.String()
+}
+
+// TestDiskCacheWarmRerunIdentity: a rerun served entirely from the
+// persistent store must render byte-identically to the cold run that
+// populated it, across every payload shape the harness stores — sweep
+// points (fig10), characterization histograms (fig3), the spatial and
+// temporal workload grids (fig8, fig9) and the router-power check.
+func TestDiskCacheWarmRerunIdentity(t *testing.T) {
+	tinyBudget = true
+	ResetCaches()
+	defer func() {
+		tinyBudget = false
+		ResetCaches()
+	}()
+	s, _ := withTestDiskCache(t)
+
+	ids := []string{"fig3", "fig8", "fig9", "fig10", "abl-routerpower"}
+	o := Options{Quick: true}
+	cold := render(t, ids, o)
+	afterCold := s.Stats()
+	if afterCold.Puts == 0 {
+		t.Fatalf("cold run stored nothing: %+v", afterCold)
+	}
+
+	ResetCaches() // drop the memory layer so the rerun must go to disk
+	warm := render(t, ids, o)
+	afterWarm := s.Stats()
+
+	if warm != cold {
+		t.Errorf("warm rerun drifted from cold run\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+	if d := afterWarm.Misses - afterCold.Misses; d != 0 {
+		t.Errorf("warm rerun missed %d times; want 0", d)
+	}
+	if afterWarm.Hits == afterCold.Hits {
+		t.Errorf("warm rerun never hit the disk store: %+v", afterWarm)
+	}
+	if d := afterWarm.Puts - afterCold.Puts; d != 0 {
+		t.Errorf("warm rerun wrote %d new entries; want 0", d)
+	}
+}
+
+// TestDiskCacheIncremental: changing one experiment's parameters must
+// recompute exactly that experiment's points — everything untouched is
+// served from the store. The parameter edit is modeled by a seed change,
+// which reaches every cache key of the edited run.
+func TestDiskCacheIncremental(t *testing.T) {
+	tinyBudget = true
+	ResetCaches()
+	defer func() {
+		tinyBudget = false
+		ResetCaches()
+	}()
+	s, _ := withTestDiskCache(t)
+
+	o := Options{Quick: true}
+	render(t, []string{"fig10"}, o)
+	base := s.Stats()
+
+	// Unchanged rerun: all hits, no new work.
+	ResetCaches()
+	render(t, []string{"fig10"}, o)
+	after := s.Stats()
+	if d := after.Misses - base.Misses; d != 0 {
+		t.Fatalf("unchanged rerun missed %d times; want 0", d)
+	}
+
+	// An "edited" run (new seed family): its points miss and store.
+	ResetCaches()
+	render(t, []string{"fig10"}, Options{Quick: true, Seed: 2})
+	edited := s.Stats()
+	if edited.Misses == after.Misses {
+		t.Fatalf("edited run recomputed nothing: %+v", edited)
+	}
+	if edited.Puts == after.Puts {
+		t.Fatalf("edited run stored nothing: %+v", edited)
+	}
+
+	// The original, untouched run still replays without recomputation.
+	ResetCaches()
+	render(t, []string{"fig10"}, o)
+	final := s.Stats()
+	if d := final.Misses - edited.Misses; d != 0 {
+		t.Errorf("untouched run recomputed %d points after an unrelated edit; want 0", d)
+	}
+}
+
+// TestDiskCacheQuarantineRecovers: a corrupted store entry must be dropped
+// and recomputed, and the recomputed render must match the original.
+func TestDiskCacheQuarantineRecovers(t *testing.T) {
+	tinyBudget = true
+	ResetCaches()
+	defer func() {
+		tinyBudget = false
+		ResetCaches()
+	}()
+	s, dir := withTestDiskCache(t)
+
+	o := Options{Quick: true}
+	cold := render(t, []string{"fig10"}, o)
+	corruptAllEntries(t, dir)
+
+	ResetCaches()
+	warm := render(t, []string{"fig10"}, o)
+	if warm != cold {
+		t.Errorf("post-corruption recompute drifted\n--- cold ---\n%s--- recomputed ---\n%s", cold, warm)
+	}
+	if s.Stats().CorruptDropped == 0 {
+		t.Errorf("corrupted entries were not quarantined: %+v", s.Stats())
+	}
+}

@@ -37,10 +37,18 @@ type Options struct {
 }
 
 // tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
-// only for harness tests (determinism across parallelism levels) that need
-// many full sweeps without caring about statistical quality; callers must
-// ResetCaches around toggling it, since cache keys do not include it.
+// only for harness tests and benchmarks (determinism across parallelism
+// levels, cache cold/warm timing) that need many full sweeps without
+// caring about statistical quality. The resolved budget is folded into
+// every cache key, so tiny runs can never collide with real ones; callers
+// still ResetCaches around toggling to drop the memory the tiny sweep
+// occupied.
 var tinyBudget bool
+
+// SetTinyBudget toggles the tiny test/benchmark budget from outside the
+// package (internal/bench uses it for the cold-vs-warm cache benchmarks);
+// tests inside this package set tinyBudget directly.
+func SetTinyBudget(v bool) { tinyBudget = v }
 
 // budget reports (warmup, measure) cycles for the options.
 func (o Options) budget() (warm, meas int64) {
@@ -271,23 +279,46 @@ func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.M
 	return n, m, horizon
 }
 
-// run executes warmup + measurement and returns the results. Results are
-// memoized in runCache (see parallel.go): concurrent callers asking for the
-// same point share one simulation, and a worker-pool slot bounds how many
-// simulations execute at once.
+// cacheKey is the canonical, versioned serialization of one simulation
+// point: every spec field plus every Options field that reaches the
+// simulation, with the resolved cycle budget folded in (so Quick, Full and
+// the test-only tiny budget cannot collide) and seeds normalized. It is
+// both the in-memory singleflight key and — fingerprint-prefixed by the
+// store — the persistent cache key, so any parameter edit re-simulates
+// exactly the points it touches and nothing else. Audit and NoSkip are
+// proven not to change results, but they stay in the key to keep it a
+// plain serialization of the run spec rather than an equivalence claim.
+func (s spec) cacheKey(o Options) string {
+	warm, meas := o.budget()
+	return fmt.Sprintf("v%d|warm=%d|meas=%d|audit=%t|noskip=%t|seed=%d|"+
+		"policy=%d|rate=%g|tasks=%d|taskdur=%d|volttran=%d|freqtran=%d|routing=%s|specseed=%d|"+
+		"tllow=%g|tlhigh=%g|dvsh=%d|dvsw=%d|levels=%d|k=%d|n=%d|torus=%t",
+		SchemaVersion, warm, meas, o.Audit, o.NoSkip, o.seed(),
+		s.policy, s.rate, s.tasks, int64(s.taskDur), int64(s.voltTran), s.freqTran, s.routing, s.seed,
+		s.tlLow, s.tlHigh, s.dvsH, s.dvsW, s.levels, s.k, s.n, s.torus)
+}
+
+// run executes warmup + measurement and returns the results. Lookups go
+// memory -> disk -> compute: runCache (see parallel.go) deduplicates
+// concurrent callers inside the process, and its compute function consults
+// the persistent store (see diskcache.go) before simulating, so the
+// singleflight guarantee covers both layers — one disk read or one
+// simulation per point, no matter how many goroutines ask.
 func run(s spec, o Options) network.Results {
-	key := fmt.Sprintf("%v|%v|%v|%v|%v|%+v", o.Quick, o.Full, o.Audit, o.NoSkip, o.Seed, s)
-	return runCache.do(key, func() (r network.Results) {
-		withSimSlot(func() {
-			warm, meas := o.budget()
-			n, m, horizon := s.build(o, warm+meas+1)
-			n.Launch(m, horizon)
-			n.Run(warm)
-			n.BeginMeasurement()
-			n.Run(meas)
-			r = n.Snapshot()
+	key := "point|" + s.cacheKey(o)
+	return runCache.do(key, func() network.Results {
+		return cached(key, func() (r network.Results) {
+			withSimSlot(func() {
+				warm, meas := o.budget()
+				n, m, horizon := s.build(o, warm+meas+1)
+				n.Launch(m, horizon)
+				n.Run(warm)
+				n.BeginMeasurement()
+				n.Run(meas)
+				r = n.Snapshot()
+			})
+			return r
 		})
-		return r
 	})
 }
 

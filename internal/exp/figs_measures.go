@@ -8,7 +8,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
-	"repro/internal/traffic"
 )
 
 // Figures 3-5 characterize the candidate DVS measures — link utilization,
@@ -29,21 +28,42 @@ type measureSet struct {
 	lu, bu, ba []*stats.Histogram // indexed by rate point
 }
 
+// measurePayload is the persistent form of a measureSet (exported fields
+// for JSON; histograms carry their own wire encoding).
+type measurePayload struct {
+	LU, BU, BA []*stats.Histogram
+}
+
+// measuresKey canonicalizes the whole characterization: the sampling
+// window plus the full spec of every rate point, so editing either the
+// rate list or any platform default re-simulates the set.
+func measuresKey(o Options) string {
+	key := fmt.Sprintf("measures|window=%d", measureWindow)
+	for _, rate := range measureRates {
+		key += "|" + defaultSpec(rate, network.PolicyNone).cacheKey(o)
+	}
+	return key
+}
+
 // measures runs the per-rate characterizations, one independent simulation
 // per rate point fanned across the worker pool; measureCache (parallel.go)
 // deduplicates concurrent callers so fig3, fig4 and fig5 in one process
-// share a single simulation set.
+// share a single simulation set, and the persistent layer shares it across
+// processes.
 func measures(o Options) *measureSet {
 	return measureCache.do(o, func() *measureSet {
-		ms := &measureSet{
-			lu: make([]*stats.Histogram, len(measureRates)),
-			bu: make([]*stats.Histogram, len(measureRates)),
-			ba: make([]*stats.Histogram, len(measureRates)),
-		}
-		Sweep(len(measureRates), func(i int) {
-			ms.lu[i], ms.bu[i], ms.ba[i] = measureOneRate(measureRates[i], o)
+		p := cached(measuresKey(o), func() measurePayload {
+			p := measurePayload{
+				LU: make([]*stats.Histogram, len(measureRates)),
+				BU: make([]*stats.Histogram, len(measureRates)),
+				BA: make([]*stats.Histogram, len(measureRates)),
+			}
+			Sweep(len(measureRates), func(i int) {
+				p.LU[i], p.BU[i], p.BA[i] = measureOneRate(measureRates[i], o)
+			})
+			return p
 		})
-		return ms
+		return &measureSet{lu: p.LU, bu: p.BU, ba: p.BA}
 	})
 }
 
@@ -143,43 +163,55 @@ func init() {
 	register("fig9", "temporal variance of injections at one router", runFig9)
 }
 
+// fig8Payload is the persistent form of the spatial-variance measurement:
+// injection counts laid out as Grid[y][x], so rendering needs no topology.
+type fig8Payload struct {
+	Grid [][]int64
+}
+
 // runFig8 snapshots per-node injection rates under the two-level workload.
 func runFig8(o Options) []Table {
 	s := defaultSpec(1.0, network.PolicyNone)
 	warm, meas := o.budget()
-	var n *network.Network
-	var counts []int64
-	withSimSlot(func() {
-		var m traffic.Model
-		var horizon sim.Time
-		n, m, horizon = s.build(o, warm+meas+1)
-		counts = make([]int64, n.Topo.Nodes())
-		counting := false
-		m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
-			if counting {
-				counts[src]++
+	p := cached("fig8|"+s.cacheKey(o), func() (p fig8Payload) {
+		withSimSlot(func() {
+			n, m, horizon := s.build(o, warm+meas+1)
+			counts := make([]int64, n.Topo.Nodes())
+			counting := false
+			m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
+				if counting {
+					counts[src]++
+				}
+				n.Inject(src, dst, at, task)
+			})
+			n.Run(warm)
+			counting = true
+			n.Run(meas)
+			p.Grid = make([][]int64, n.Cfg.K)
+			for y := range p.Grid {
+				p.Grid[y] = make([]int64, n.Cfg.K)
+				for x := range p.Grid[y] {
+					p.Grid[y][x] = counts[n.Topo.NodeAt(x, y)]
+				}
 			}
-			n.Inject(src, dst, at, task)
 		})
-		n.Run(warm)
-		counting = true
-		n.Run(meas)
+		return p
 	})
 
 	t := Table{Title: "Figure 8: spatial variance of injected load (packets/cycle per node)"}
 	t.Header = []string{"y\\x"}
-	for x := 0; x < n.Cfg.K; x++ {
+	for x := range p.Grid {
 		t.Header = append(t.Header, fmt.Sprintf("x=%d", x))
 	}
 	var st stats.Stream
-	for y := 0; y < n.Cfg.K; y++ {
-		row := []string{fmt.Sprintf("y=%d", y)}
-		for x := 0; x < n.Cfg.K; x++ {
-			r := float64(counts[n.Topo.NodeAt(x, y)]) / float64(meas)
+	for y, row := range p.Grid {
+		cells := []string{fmt.Sprintf("y=%d", y)}
+		for _, count := range row {
+			r := float64(count) / float64(meas)
 			st.Add(r)
-			row = append(row, f(r, 4))
+			cells = append(cells, f(r, 4))
 		}
-		t.AddRow(row...)
+		t.AddRow(cells...)
 	}
 	cv := 0.0
 	if st.Mean() > 0 {
@@ -196,44 +228,66 @@ func runFig8(o Options) []Table {
 // verifies its long-range dependence. It profiles whichever router
 // injected the most during the measurement window, so the profile always
 // carries signal (a fixed node may host no task session under some seeds).
+// fig9Payload is the persistent form of the temporal-variance measurement:
+// the busiest node's binned injection series plus the network aggregate.
+type fig9Payload struct {
+	Busiest int
+	Bins    []float64
+	Agg     []float64
+}
+
 func runFig9(o Options) []Table {
 	s := defaultSpec(1.0, network.PolicyNone)
 	warm, meas := o.budget()
 	const binCycles = 100
 	nbins := int(meas/binCycles) + 1
-	var perNode [][]float64
-	withSimSlot(func() {
-		n, m, horizon := s.build(o, warm+meas+1)
-		perNode = make([][]float64, n.Topo.Nodes())
-		for i := range perNode {
-			perNode[i] = make([]float64, nbins)
-		}
-		counting := false
-		m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
-			if counting {
-				b := int((at - sim.Time(warm)*n.Cfg.RouterPeriod) / (binCycles * n.Cfg.RouterPeriod))
-				if b >= 0 && b < nbins {
-					perNode[src][b]++
-				}
+	p := cached("fig9|"+s.cacheKey(o), func() (p fig9Payload) {
+		var perNode [][]float64
+		withSimSlot(func() {
+			n, m, horizon := s.build(o, warm+meas+1)
+			perNode = make([][]float64, n.Topo.Nodes())
+			for i := range perNode {
+				perNode[i] = make([]float64, nbins)
 			}
-			n.Inject(src, dst, at, task)
+			counting := false
+			m.Launch(n.Sched, horizon, func(src, dst int, at sim.Time, task int64) {
+				if counting {
+					b := int((at - sim.Time(warm)*n.Cfg.RouterPeriod) / (binCycles * n.Cfg.RouterPeriod))
+					if b >= 0 && b < nbins {
+						perNode[src][b]++
+					}
+				}
+				n.Inject(src, dst, at, task)
+			})
+			n.Run(warm)
+			counting = true
+			n.Run(meas)
 		})
-		n.Run(warm)
-		counting = true
-		n.Run(meas)
-	})
 
-	busiest, best := 0, -1.0
-	for node, bs := range perNode {
-		sum := 0.0
-		for _, c := range bs {
-			sum += c
+		busiest, best := 0, -1.0
+		for node, bs := range perNode {
+			sum := 0.0
+			for _, c := range bs {
+				sum += c
+			}
+			if sum > best {
+				best, busiest = sum, node
+			}
 		}
-		if sum > best {
-			best, busiest = sum, node
+		p.Busiest = busiest
+		p.Bins = perNode[busiest]
+		// Network-wide aggregate: the statistically meaningful LRD check at
+		// scaled budgets (one node's window holds too few ON/OFF cycles for
+		// a stable Hurst estimate).
+		p.Agg = make([]float64, nbins)
+		for _, bs := range perNode {
+			for i, c := range bs {
+				p.Agg[i] += c
+			}
 		}
-	}
-	bins := perNode[busiest]
+		return p
+	})
+	busiest, bins := p.Busiest, p.Bins
 
 	t := Table{Title: fmt.Sprintf(
 		"Figure 9: temporal variance of injected load at the busiest router (node %d)", busiest)}
@@ -261,19 +315,10 @@ func runFig9(o Options) []Table {
 	if st.Mean() > 0 {
 		cv = st.Std() / st.Mean()
 	}
-	// Network-wide aggregate: the statistically meaningful LRD check at
-	// scaled budgets (one node's window holds too few ON/OFF cycles for a
-	// stable Hurst estimate).
-	agg := make([]float64, nbins)
-	for _, bs := range perNode {
-		for i, c := range bs {
-			agg[i] += c
-		}
-	}
 	t.Notes = []string{
 		fmt.Sprintf("per-%d-cycle bins at node %d: mean=%.2f pkts, CV=%.2f", binCycles, busiest, st.Mean(), cv),
 		fmt.Sprintf("Hurst: node %.2f, network aggregate %.2f (LRD when > 0.5; single-node",
-			stats.HurstAggVar(bins), stats.HurstAggVar(agg)),
+			stats.HurstAggVar(bins), stats.HurstAggVar(p.Agg)),
 		"estimates are noisy at scaled budgets — internal/traffic tests verify H > 0.6",
 		"over longer horizons); paper shape: bursty across time scales",
 	}

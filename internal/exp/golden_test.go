@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runcache"
 )
 
 // update regenerates the golden files instead of comparing against them:
@@ -101,6 +103,43 @@ func TestGoldenFigures(t *testing.T) {
 		})
 	}
 	SetParallelism(0)
+}
+
+// TestGoldenWithDiskCache: the golden pins must hold with the persistent
+// run cache active, both when it populates (cold) and when it replays
+// (warm) — the cache may change speed, never a byte of output. Quick
+// budget (the pinned one), so it stays out of -short like the other
+// simulation-backed comparisons.
+func TestGoldenWithDiskCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden comparison skipped in -short")
+	}
+	s, err := runcache.Open(t.TempDir(), runcache.Options{Fingerprint: "exp-golden-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetDiskCache(s)
+	defer func() {
+		SetDiskCache(nil)
+		ResetCaches()
+	}()
+
+	ResetCaches()
+	compareGolden(t, "fig10") // cold: simulate and store
+	afterCold := s.Stats()
+	if afterCold.Puts == 0 {
+		t.Fatalf("cold golden run stored nothing: %+v", afterCold)
+	}
+
+	ResetCaches()
+	compareGolden(t, "fig10") // warm: replay from disk
+	afterWarm := s.Stats()
+	if d := afterWarm.Misses - afterCold.Misses; d != 0 {
+		t.Errorf("warm golden rerun missed %d times; want 0", d)
+	}
+	if afterWarm.Hits == afterCold.Hits {
+		t.Errorf("warm golden rerun never hit the disk store: %+v", afterWarm)
+	}
 }
 
 // TestAuditDoesNotPerturbResults: enabling the runtime invariant audit

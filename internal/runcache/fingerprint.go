@@ -1,0 +1,47 @@
+package runcache
+
+import (
+	"runtime/debug"
+)
+
+// Fingerprint composes a caller-chosen schema tag with the running
+// binary's VCS identity into a cache-invalidation fingerprint: any commit
+// changes vcs.revision and any schema bump changes the tag, so entries
+// written by older code or older encodings become unreachable (and age out
+// via LRU) instead of being served stale.
+//
+// Binaries built outside version control (and `go test` binaries, which Go
+// does not VCS-stamp) fall back to the schema tag alone; tests therefore
+// inject explicit fingerprints, and a dirty working tree — same revision,
+// edited files — is marked "+dirty" but cannot distinguish successive
+// edits. Pass a no-cache flag (or flush the directory) while iterating on
+// simulation code uncommitted.
+func Fingerprint(schema string) string {
+	rev, modified, ok := vcsInfo()
+	if !ok {
+		return schema + "|no-vcs"
+	}
+	fp := schema + "|" + rev
+	if modified {
+		fp += "+dirty"
+	}
+	return fp
+}
+
+// vcsInfo extracts the VCS revision and dirty flag from the binary's
+// embedded build info.
+func vcsInfo() (rev string, modified, ok bool) {
+	bi, haveInfo := debug.ReadBuildInfo()
+	if !haveInfo {
+		return "", false, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	return rev, modified, rev != ""
+}

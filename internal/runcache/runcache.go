@@ -1,0 +1,299 @@
+// Package runcache is a persistent, content-addressed result cache: a
+// directory of checksummed entries keyed by SHA-256 over (fingerprint,
+// key), written atomically (tmp + rename) so concurrent processes sharing
+// one directory never observe partial entries.
+//
+// The store is deliberately dumb about payloads — callers serialize their
+// own values (the experiment harness uses canonical JSON) — and strict
+// about integrity: every entry carries a SHA-256 of its payload, and a
+// truncated, bit-flipped or otherwise unverifiable entry is quarantined
+// (deleted) and reported as a miss, never trusted. Eviction is size-capped
+// LRU on file modification time: hits re-touch entries, and writes beyond
+// the cap delete the stalest entries first.
+//
+// The fingerprint mixed into every key is the cross-process invalidation
+// lever: callers derive it from a schema version plus the binary's VCS
+// revision (see Fingerprint), so results invalidate automatically on
+// commit or schema bump without any explicit flush.
+package runcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// entry layout: magic, SHA-256 of the payload, payload.
+var magic = []byte("RUNCACH1")
+
+const (
+	entrySuffix    = ".rc"
+	tmpPattern     = "put-*.tmp"
+	headerLen      = 8 + sha256.Size
+	defaultMaxSize = 256 << 20 // 256 MiB
+)
+
+// Options configure a Store.
+type Options struct {
+	// MaxBytes caps the total size of resident entries; 0 means 256 MiB.
+	// Exceeding the cap evicts least-recently-used entries after the write.
+	MaxBytes int64
+	// Fingerprint is mixed into every key hash. Two stores on one directory
+	// with different fingerprints never see each other's entries; deriving
+	// it from code identity (see Fingerprint) makes staleness impossible
+	// across commits and schema versions.
+	Fingerprint string
+}
+
+// Stats are cumulative operation counters for one Store instance.
+type Stats struct {
+	Hits, Misses   int64
+	Puts           int64
+	CorruptDropped int64 // entries quarantined: bad magic, bad checksum, or caller-reported decode failure
+	Evictions      int64
+	BytesRead      int64 // payload bytes returned by hits
+	BytesWritten   int64 // entry bytes written by puts
+}
+
+// HitRate reports hits / (hits + misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Store is one handle on a cache directory. Handles are safe for
+// concurrent use by multiple goroutines, and multiple handles (including
+// handles in different processes) may share one directory: writes are
+// atomic renames, reads tolerate entries vanishing underneath them, and
+// identical keys hold identical payloads by construction (deterministic
+// computations), so last-write-wins races are byte-level no-ops.
+type Store struct {
+	dir      string
+	maxBytes int64
+	prefix   []byte // length-prefixed fingerprint, prepended to every key preimage
+
+	size    atomic.Int64 // approximate resident bytes; eviction recomputes exactly
+	evictMu sync.Mutex
+
+	hits, misses, puts      atomic.Int64
+	corrupt, evictions      atomic.Int64
+	bytesRead, bytesWritten atomic.Int64
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string, o Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	max := o.MaxBytes
+	if max <= 0 {
+		max = defaultMaxSize
+	}
+	var prefix []byte
+	prefix = binary.AppendUvarint(prefix, uint64(len(o.Fingerprint)))
+	prefix = append(prefix, o.Fingerprint...)
+	s := &Store{dir: dir, maxBytes: max, prefix: prefix}
+	s.size.Store(s.scanSize())
+	return s, nil
+}
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file: content addressing over the
+// fingerprint-prefixed key.
+func (s *Store) path(key string) string {
+	h := sha256.New()
+	h.Write(s.prefix)
+	h.Write([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+entrySuffix)
+}
+
+// Get returns the cached payload for key. A missing entry is a miss; an
+// entry that fails verification (wrong magic, wrong length, checksum
+// mismatch) is quarantined — deleted and counted — and reported as a miss.
+// Hits re-touch the entry's mtime, maintaining LRU order for eviction.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		s.quarantine(p, int64(len(data)))
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(payload)))
+	now := time.Now()
+	_ = os.Chtimes(p, now, now) // LRU touch; best effort
+	return payload, true
+}
+
+// Put stores payload under key, atomically: the entry is written to a
+// temporary file in the cache directory and renamed into place, so a
+// concurrent Get in any process sees either the old entry, the new entry,
+// or nothing — never a partial write. Errors are returned but a failed Put
+// only loses caching, never correctness.
+func (s *Store) Put(key string, payload []byte) error {
+	entry := make([]byte, 0, headerLen+len(payload))
+	entry = append(entry, magic...)
+	sum := sha256.Sum256(payload)
+	entry = append(entry, sum[:]...)
+	entry = append(entry, payload...)
+
+	tmp, err := os.CreateTemp(s.dir, tmpPattern)
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	_, werr := tmp.Write(entry)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("runcache: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(int64(len(entry)))
+	if s.size.Add(int64(len(entry))) > s.maxBytes {
+		s.evict()
+	}
+	return nil
+}
+
+// Drop quarantines key's entry: callers use it when a payload passed the
+// checksum but failed their own decode (schema drift within one
+// fingerprint). The entry is deleted and recomputed, never trusted.
+func (s *Store) Drop(key string) {
+	p := s.path(key)
+	if fi, err := os.Stat(p); err == nil {
+		s.quarantine(p, fi.Size())
+	}
+}
+
+func (s *Store) quarantine(path string, size int64) {
+	if os.Remove(path) == nil {
+		s.corrupt.Add(1)
+		s.size.Add(-size)
+	}
+}
+
+// Stats snapshots the cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Puts:           s.puts.Load(),
+		CorruptDropped: s.corrupt.Load(),
+		Evictions:      s.evictions.Load(),
+		BytesRead:      s.bytesRead.Load(),
+		BytesWritten:   s.bytesWritten.Load(),
+	}
+}
+
+// decodeEntry verifies and strips the entry header.
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < headerLen || !bytes.Equal(data[:len(magic)], magic) {
+		return nil, false
+	}
+	payload := data[headerLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[len(magic):headerLen]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// scanSize sums resident entry sizes (and sweeps stale temp files left by
+// crashed writers).
+func (s *Store) scanSize() int64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	cutoff := time.Now().Add(-time.Hour)
+	for _, e := range ents {
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		switch {
+		case filepath.Ext(e.Name()) == entrySuffix:
+			total += fi.Size()
+		case fi.ModTime().Before(cutoff):
+			os.Remove(filepath.Join(s.dir, e.Name())) // abandoned tmp file
+		}
+	}
+	return total
+}
+
+// evict deletes least-recently-used entries until the directory fits the
+// cap again. It rescans the directory for exact sizes, so the approximate
+// running counter self-corrects on every eviction pass. Entries touched by
+// recent hits have fresh mtimes and are evicted last.
+func (s *Store) evict() {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+
+	type ent struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var files []ent
+	var total int64
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != entrySuffix {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, ent{filepath.Join(s.dir, e.Name()), fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.Before(files[j].mod)
+		}
+		return files[i].path < files[j].path // deterministic tie-break
+	})
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			s.evictions.Add(1)
+		}
+	}
+	s.size.Store(total)
+}

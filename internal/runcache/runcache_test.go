@@ -1,0 +1,309 @@
+package runcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := open(t, t.TempDir(), Options{Fingerprint: "fp"})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	payload := []byte("the payload")
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	// Overwrite is allowed and atomic.
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("k"); string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 2 {
+		t.Errorf("stats = %+v; want 2 hits, 1 miss, 2 puts", st)
+	}
+}
+
+// TestFingerprintInvalidates: same directory, same key, different
+// fingerprint — a different world. Entries written under one fingerprint
+// are unreachable from the other, which is exactly how a commit or schema
+// bump invalidates the whole cache without a flush.
+func TestFingerprintInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, Options{Fingerprint: "schema-v1|rev-aaa"})
+	b := open(t, dir, Options{Fingerprint: "schema-v1|rev-bbb"})
+	if err := a.Put("k", []byte("old world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get("k"); ok {
+		t.Error("entry leaked across fingerprints")
+	}
+	if got, ok := a.Get("k"); !ok || string(got) != "old world" {
+		t.Errorf("original fingerprint lost its entry: %q, %v", got, ok)
+	}
+}
+
+// entryFiles lists the store's resident entry files.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), entrySuffix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+// corruptAndGet writes one entry, mangles its file with mutate, and
+// verifies the store quarantines it: miss, file deleted, counted, and the
+// key is recomputable (a fresh Put works).
+func corruptAndGet(t *testing.T, mutate func(path string)) {
+	t.Helper()
+	dir := t.TempDir()
+	s := open(t, dir, Options{Fingerprint: "fp"})
+	if err := s.Put("k", []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	files := entryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, found %d", len(files))
+	}
+	mutate(files[0])
+
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupted entry served as a hit")
+	}
+	if st := s.Stats(); st.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", st.CorruptDropped)
+	}
+	if remaining := entryFiles(t, dir); len(remaining) != 0 {
+		t.Errorf("corrupted entry not quarantined: %v", remaining)
+	}
+	// The slot is clean: recompute-and-store works again.
+	if err := s.Put("k", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "recomputed" {
+		t.Errorf("recomputed entry not served: %q, %v", got, ok)
+	}
+}
+
+func TestCorruptTruncated(t *testing.T) {
+	corruptAndGet(t, func(path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptBitFlip(t *testing.T) {
+	corruptAndGet(t, func(path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x40 // flip a payload bit
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptEmptyFile(t *testing.T) {
+	corruptAndGet(t, func(path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDropQuarantines: a caller-reported decode failure (checksum fine,
+// schema drifted) deletes the entry.
+func TestDropQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Fingerprint: "fp"})
+	if err := s.Put("k", []byte("old schema")); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop("k")
+	if _, ok := s.Get("k"); ok {
+		t.Error("dropped entry still served")
+	}
+	if st := s.Stats(); st.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", st.CorruptDropped)
+	}
+}
+
+// TestEvictionOrder: with a tight byte cap, the store evicts strictly by
+// recency — stalest mtime first — and hits refresh recency. Mtimes are
+// planted explicitly so filesystem timestamp granularity cannot blur the
+// order.
+func TestEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	entrySize := int64(headerLen + len(payload))
+	// Room for three entries; the fourth Put must evict exactly one.
+	s := open(t, dir, Options{Fingerprint: "fp", MaxBytes: 3 * entrySize})
+
+	base := time.Now().Add(-10 * time.Hour)
+	for i, key := range []string{"a", "b", "c"} {
+		if err := s.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Hour) // a stalest, c freshest
+		if err := os.Chtimes(s.path(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a": the hit refreshes its mtime, so "b" becomes the LRU victim.
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("lost entry a")
+	}
+	if err := s.Put("d", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, want := range map[string]bool{"a": true, "b": false, "c": true, "d": true} {
+		if _, ok := s.Get(key); ok != want {
+			t.Errorf("after eviction, Get(%q) = %v, want %v", key, ok, want)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestEvictionConverges: hammering far past the cap leaves the directory
+// at or under the cap.
+func TestEvictionConverges(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("y"), 50)
+	entrySize := int64(headerLen + len(payload))
+	cap := 5 * entrySize
+	s := open(t, dir, Options{Fingerprint: "fp", MaxBytes: cap})
+	for i := 0; i < 40; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, f := range entryFiles(t, dir) {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > cap {
+		t.Errorf("resident %d bytes exceeds cap %d after eviction", total, cap)
+	}
+}
+
+// TestConcurrentSharedDir models the acceptance scenario: two store
+// handles — as two goroutines, standing in for two processes — share one
+// directory under concurrent mixed Get/Put load. Values are keyed
+// deterministically (as deterministic simulations are), so every hit must
+// return exactly the bytes any writer stored for that key.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, dir, Options{Fingerprint: "fp"})
+	b := open(t, dir, Options{Fingerprint: "fp"})
+
+	value := func(k int) []byte { return []byte(fmt.Sprintf("value-for-%d", k)) }
+	const keys = 16
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(s *Store, g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					k := (i*7 + g) % keys
+					key := fmt.Sprintf("key-%d", k)
+					if got, ok := s.Get(key); ok {
+						if !bytes.Equal(got, value(k)) {
+							t.Errorf("key %q: got %q, want %q", key, got, value(k))
+							return
+						}
+					} else if err := s.Put(key, value(k)); err != nil {
+						t.Errorf("Put(%q): %v", key, err)
+						return
+					}
+				}
+			}(s, g)
+		}
+	}
+	wg.Wait()
+	// Every key converged to its value in both handles.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		for i, s := range []*Store{a, b} {
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, value(k)) {
+				t.Errorf("handle %d key %q: got %q, %v", i, key, got, ok)
+			}
+		}
+	}
+}
+
+// TestOpenRecoversSize: reopening a populated directory accounts existing
+// entries toward the cap.
+func TestOpenRecoversSize(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("z"), 100)
+	entrySize := int64(headerLen + len(payload))
+	s1 := open(t, dir, Options{Fingerprint: "fp", MaxBytes: 10 * entrySize})
+	for i := 0; i < 3; i++ {
+		if err := s1.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, Options{Fingerprint: "fp", MaxBytes: 10 * entrySize})
+	if got := s2.size.Load(); got != 3*entrySize {
+		t.Errorf("reopened size = %d, want %d", got, 3*entrySize)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("reopened store lost k%d", i)
+		}
+	}
+}
+
+func TestFingerprintSchemaOnlyFallback(t *testing.T) {
+	// Test binaries carry no VCS stamp, so the fallback path is what runs
+	// here; the schema tag must always survive into the fingerprint.
+	fp := Fingerprint("repro-exp/v1")
+	if !strings.HasPrefix(fp, "repro-exp/v1") {
+		t.Errorf("Fingerprint dropped the schema tag: %q", fp)
+	}
+}

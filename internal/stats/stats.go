@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -119,6 +120,47 @@ func (h *Histogram) Mean() float64 {
 		sum += float64(c) * h.BinCenter(i)
 	}
 	return sum / float64(h.total)
+}
+
+// histogramJSON is the serialized form of a Histogram: the persistent run
+// cache stores characterization histograms across processes, so the
+// unexported state needs an explicit wire shape.
+type histogramJSON struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int64 `json:"counts"`
+	Total  int64   `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler. Bounds and counts are exact
+// (float64 round-trips losslessly through JSON), so a decoded histogram
+// renders byte-identically to the one that was stored.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Lo: h.lo, Hi: h.hi, Counts: h.counts, Total: h.total})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the invariants
+// NewHistogram enforces plus count consistency.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) < 1 || w.Hi <= w.Lo {
+		return fmt.Errorf("stats: invalid histogram [%g,%g)/%d", w.Lo, w.Hi, len(w.Counts))
+	}
+	var sum int64
+	for _, c := range w.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: negative histogram count %d", c)
+		}
+		sum += c
+	}
+	if sum != w.Total {
+		return fmt.Errorf("stats: histogram total %d != count sum %d", w.Total, sum)
+	}
+	h.lo, h.hi, h.counts, h.total = w.Lo, w.Hi, w.Counts, w.Total
+	return nil
 }
 
 // Series is a fixed-capacity append-only series of float64 samples, the
