@@ -14,8 +14,11 @@
 // Finished results persist in a content-addressed run cache (default: the
 // user cache directory), so an unchanged rerun replays stored results
 // byte-identically instead of re-simulating; entries invalidate on code
-// revision or parameter change. -no-cache recomputes everything; -cachestats
-// reports hit/miss counters on stderr.
+// revision or parameter change. Caching therefore requires a VCS-stamped
+// binary (`go build ./cmd/figures`): under `go run` no revision is
+// embedded and the cache disables itself with a note on stderr.
+// -no-cache recomputes everything; -cachestats reports hit/miss counters
+// on stderr.
 package main
 
 import (

@@ -17,6 +17,7 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"repro/internal/runcache"
@@ -44,7 +45,23 @@ func DiskCache() *runcache.Store { return diskStore.Load() }
 // OpenDiskCache opens (creating if necessary) a persistent result cache at
 // dir with the canonical code fingerprint and installs it. maxBytes <= 0
 // selects the store's default size cap.
+//
+// It refuses — returning an error and installing nothing — when the
+// running binary carries no VCS revision: `go run` and `go test` binaries
+// are not stamped, so their fingerprint would be stable across commits and
+// code edits and stale results would replay silently. Use a built binary
+// (`go build ./cmd/figures`) to cache persistently. A stamped-but-dirty
+// tree is cached under a single "+dirty" fingerprint, which cannot
+// distinguish successive uncommitted edits; that case gets a one-line
+// stderr notice instead of a refusal.
 func OpenDiskCache(dir string, maxBytes int64) error {
+	rev, dirty, stamped := runcache.VCSInfo()
+	if !stamped {
+		return fmt.Errorf("binary carries no VCS revision (go run and go test binaries are not stamped), so cached results would not invalidate on code changes; build the binary (go build ./cmd/...) to enable persistent caching")
+	}
+	if dirty {
+		fmt.Fprintf(os.Stderr, "exp: run cache: working tree was dirty at build (%.12s+dirty); successive uncommitted edits share one cache fingerprint — pass -no-cache while iterating on simulation code\n", rev)
+	}
 	s, err := runcache.Open(dir, runcache.Options{
 		MaxBytes:    maxBytes,
 		Fingerprint: runcache.Fingerprint(fmt.Sprintf("repro-exp/v%d", SchemaVersion)),

@@ -154,6 +154,23 @@ func TestDiskCacheIncremental(t *testing.T) {
 	}
 }
 
+// TestOpenDiskCacheRequiresVCSStamp: test binaries carry no VCS revision,
+// exactly like `go run` binaries — the automatic fingerprint would be
+// stable across code changes, so OpenDiskCache must refuse and install
+// nothing rather than let stale results replay silently.
+func TestOpenDiskCacheRequiresVCSStamp(t *testing.T) {
+	prev := DiskCache()
+	defer SetDiskCache(prev)
+	SetDiskCache(nil)
+
+	if err := OpenDiskCache(t.TempDir(), 0); err == nil {
+		t.Fatal("OpenDiskCache succeeded in an unstamped binary; want a refusal")
+	}
+	if DiskCache() != nil {
+		t.Error("a store was installed despite the refusal")
+	}
+}
+
 // TestDiskCacheQuarantineRecovers: a corrupted store entry must be dropped
 // and recomputed, and the recomputed render must match the original.
 func TestDiskCacheQuarantineRecovers(t *testing.T) {

@@ -10,14 +10,17 @@ import (
 // written by older code or older encodings become unreachable (and age out
 // via LRU) instead of being served stale.
 //
-// Binaries built outside version control (and `go test` binaries, which Go
-// does not VCS-stamp) fall back to the schema tag alone; tests therefore
-// inject explicit fingerprints, and a dirty working tree — same revision,
-// edited files — is marked "+dirty" but cannot distinguish successive
-// edits. Pass a no-cache flag (or flush the directory) while iterating on
-// simulation code uncommitted.
+// Binaries built outside version control (including `go run` and `go
+// test` binaries, which Go does not VCS-stamp) fall back to the schema tag
+// alone — a STABLE fingerprint that never invalidates on code change.
+// Callers persisting results across processes must therefore check
+// VCSInfo first and refuse to cache when no revision is embedded (the
+// experiment harness does); the fallback exists only for callers that
+// knowingly accept it. A dirty working tree — same revision, edited
+// files — is marked "+dirty" but cannot distinguish successive edits;
+// tests inject explicit fingerprints instead.
 func Fingerprint(schema string) string {
-	rev, modified, ok := vcsInfo()
+	rev, modified, ok := VCSInfo()
 	if !ok {
 		return schema + "|no-vcs"
 	}
@@ -28,9 +31,11 @@ func Fingerprint(schema string) string {
 	return fp
 }
 
-// vcsInfo extracts the VCS revision and dirty flag from the binary's
-// embedded build info.
-func vcsInfo() (rev string, modified, ok bool) {
+// VCSInfo extracts the VCS revision and dirty flag from the running
+// binary's embedded build info. ok is false when no revision is embedded:
+// `go run`, `go test` and out-of-repo builds are not stamped, so such a
+// binary cannot produce a fingerprint that invalidates on code change.
+func VCSInfo() (rev string, modified, ok bool) {
 	bi, haveInfo := debug.ReadBuildInfo()
 	if !haveInfo {
 		return "", false, false

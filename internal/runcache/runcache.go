@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -226,6 +227,14 @@ func decodeEntry(data []byte) ([]byte, bool) {
 	return payload, true
 }
 
+// isTmpName reports whether name matches Put's CreateTemp pattern. The
+// startup sweep removes only these: a caller may point the store at a
+// pre-existing, non-dedicated directory, so anything the store did not
+// write itself is never touched.
+func isTmpName(name string) bool {
+	return strings.HasPrefix(name, "put-") && strings.HasSuffix(name, ".tmp")
+}
+
 // scanSize sums resident entry sizes (and sweeps stale temp files left by
 // crashed writers).
 func (s *Store) scanSize() int64 {
@@ -243,7 +252,7 @@ func (s *Store) scanSize() int64 {
 		switch {
 		case filepath.Ext(e.Name()) == entrySuffix:
 			total += fi.Size()
-		case fi.ModTime().Before(cutoff):
+		case isTmpName(e.Name()) && fi.ModTime().Before(cutoff):
 			os.Remove(filepath.Join(s.dir, e.Name())) // abandoned tmp file
 		}
 	}

@@ -306,4 +306,47 @@ func TestFingerprintSchemaOnlyFallback(t *testing.T) {
 	if !strings.HasPrefix(fp, "repro-exp/v1") {
 		t.Errorf("Fingerprint dropped the schema tag: %q", fp)
 	}
+	if _, _, ok := VCSInfo(); ok {
+		t.Error("VCSInfo reported a stamp inside a test binary; the fallback test is not exercising the fallback")
+	}
+}
+
+// TestOpenSweepsOnlyAbandonedTmpFiles: the startup sweep exists to reap
+// put-*.tmp files left by crashed writers — and must remove nothing else.
+// A user may point -cache-dir at a pre-existing directory (".", a results
+// folder); Open must never delete their files, however old.
+func TestOpenSweepsOnlyAbandonedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-2 * time.Hour)
+	write := func(name string, aged bool) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if aged {
+			if err := os.Chtimes(p, old, old); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	kept := []string{
+		write("results.csv", true),       // old foreign file: untouchable
+		write("notes.tmp", true),         // .tmp suffix but not ours: untouchable
+		write("put-notes.txt", true),     // put- prefix but not ours: untouchable
+		write("put-fresh123.tmp", false), // ours, but an in-flight writer's
+	}
+	abandoned := write("put-stale456.tmp", true) // ours and stale: swept
+
+	open(t, dir, Options{Fingerprint: "fp"})
+
+	for _, p := range kept {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("startup sweep removed %s: %v", filepath.Base(p), err)
+		}
+	}
+	if _, err := os.Stat(abandoned); !os.IsNotExist(err) {
+		t.Errorf("abandoned tmp file survived the sweep (err=%v)", err)
+	}
 }

@@ -29,7 +29,10 @@ func DefaultRunCacheDir() string {
 // at dir and installs it under the experiment harness. An empty dir selects
 // DefaultRunCacheDir; maxBytes <= 0 selects the default size cap (256 MiB).
 // Entries invalidate automatically when the binary's VCS revision or the
-// harness schema changes.
+// harness schema changes. That invalidation lever requires a VCS-stamped
+// binary: under `go run`, `go test`, or an out-of-repo build no revision
+// is embedded, and EnableRunCache returns an error (installing nothing)
+// rather than replay results that would survive code changes.
 func EnableRunCache(dir string, maxBytes int64) error {
 	if dir == "" {
 		dir = DefaultRunCacheDir()
