@@ -7,10 +7,11 @@
 #   make short   # go test -short ./... — structural tests only, < 60 s
 #   make race    # full test suite under the race detector
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
-#   make bench   # end-to-end Step + run-cache + scheduler + packet-alloc
-#                # benchmarks; set BENCH_COUNT=10 for benchstat samples
-#   make bench-json # regenerate the committed BENCH_pr6.json trajectory
-#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr4.json
+#   make bench   # end-to-end Step + run-cache + checkpoint-sweep +
+#                # scheduler + packet-alloc benchmarks; set BENCH_COUNT=10
+#                # for benchstat samples
+#   make bench-json # regenerate the committed BENCH_pr7.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr6.json
 #                # (the previous PR's committed baseline); fails on a >10%
 #                # ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
@@ -25,9 +26,10 @@ GO ?= go
 # the persistent run cache (shared-directory stores under concurrent
 # readers/writers) and the public facade. internal/network rides along so
 # the parallel harness exercises the activity-driven core (active list +
-# fast-forward) under the race detector. Everything else is
-# single-threaded simulation.
-RACE_FAST = ./internal/sim ./internal/stats ./internal/runcache ./noc ./internal/network
+# fast-forward) under the race detector; internal/checkpoint so the
+# fork-equivalence conformance suite (parallel subtests sharing traces)
+# runs raced too. Everything else is single-threaded simulation.
+RACE_FAST = ./internal/sim ./internal/stats ./internal/runcache ./noc ./internal/network ./internal/checkpoint
 
 # Repetitions for `make bench`; benchstat wants >= 10 samples.
 BENCH_COUNT ?= 1
@@ -58,23 +60,29 @@ race:
 race-fast:
 	$(GO) test -race -short $(RACE_FAST) ./internal/exp
 
+# -fuzzminimizetime: short smoke runs must spend their budget fuzzing, not
+# minimizing the first interesting inputs (the default is 60s per find,
+# which starves a 10s run down to a handful of execs).
 fuzz:
 	$(GO) test ./internal/routing -run xxx -fuzz FuzzRoute -fuzztime 10s
 	$(GO) test ./internal/topology -run xxx -fuzz FuzzTopologyCoords -fuzztime 10s
+	$(GO) test ./internal/checkpoint -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s -fuzzminimizetime=10x
+	$(GO) test ./internal/checkpoint -run xxx -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -fuzzminimizetime=10x
 
 # benchstat-friendly: `make bench BENCH_COUNT=10 > old.txt`, change code,
 # `make bench BENCH_COUNT=10 > new.txt`, `benchstat old.txt new.txt`.
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkStep(LowLoad|Saturation)' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test . -run xxx -bench 'BenchmarkRunAll(Cold|Warm)Cache' -benchmem -count=$(BENCH_COUNT)
+	$(GO) test . -run xxx -bench 'BenchmarkSweep(Straight|Checkpointed)' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
 
 bench-diff:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -baseline BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -baseline BENCH_pr6.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

@@ -135,6 +135,16 @@ func BenchmarkRunAllColdCache(b *testing.B) { bench.FiguresRunAll(b, false) }
 // disk; the cold/warm ratio is the headline number of the result cache.
 func BenchmarkRunAllWarmCache(b *testing.B) { bench.FiguresRunAll(b, true) }
 
+// BenchmarkSweepStraight runs the fig13 threshold sweep with every point
+// paying for its own warmup — the pre-checkpoint baseline.
+func BenchmarkSweepStraight(b *testing.B) { bench.Sweep(b, true) }
+
+// BenchmarkSweepCheckpointed is the same sweep with the six settings at
+// each rate forking one shared policy-frozen warmup; the ratio against
+// BenchmarkSweepStraight is the headline number of the checkpoint
+// subsystem (cmd/benchjson records both in BENCH_pr7.json).
+func BenchmarkSweepCheckpointed(b *testing.B) { bench.Sweep(b, false) }
+
 // --- Activity-driven core benchmarks -------------------------------------
 
 // BenchmarkStepLowLoad measures router-cycle throughput at a near-idle

@@ -1,14 +1,15 @@
 // Command benchjson runs the repository's benchmark trajectory — the
 // end-to-end Step benchmarks at low load and saturation (with the
 // activity-driven core on and off), the cold- and warm-cache experiment
-// regenerations, plus the scheduler and packet-alloc micro-benchmarks — and
-// writes the results as machine-readable JSON.
+// regenerations, the checkpointed and straight threshold sweeps, plus the
+// scheduler and packet-alloc micro-benchmarks — and writes the results as
+// machine-readable JSON.
 //
-//	benchjson -out BENCH_pr6.json
-//	benchjson -baseline BENCH_pr4.json                     # run, then diff
-//	benchjson -in BENCH_pr6.json -baseline BENCH_pr4.json  # diff two files
+//	benchjson -out BENCH_pr7.json
+//	benchjson -baseline BENCH_pr6.json                     # run, then diff
+//	benchjson -in BENCH_pr7.json -baseline BENCH_pr6.json  # diff two files
 //
-// The committed BENCH_pr6.json pins this PR's measured curve so future
+// The committed BENCH_pr7.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
 //
 // With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
@@ -42,6 +43,9 @@ type result struct {
 	// activity-driven core skipped (the "skip ratio"); only the end-to-end
 	// Step benchmarks report it.
 	ElisionRatio float64 `json:"elision_ratio,omitempty"`
+	// WarmupCyclesPerOp is the warmup work one sweep iteration simulated;
+	// only the Sweep benchmarks report it.
+	WarmupCyclesPerOp float64 `json:"warmup_cycles_per_op,omitempty"`
 }
 
 // report is the file schema.
@@ -63,7 +67,11 @@ type summary struct {
 	// WarmCacheSpeedupX is how much faster a fig10 regeneration replays
 	// from the persistent run cache than it simulates cold.
 	WarmCacheSpeedupX float64 `json:"warm_cache_speedup_x,omitempty"`
-	Note              string  `json:"note,omitempty"`
+	// CheckpointSpeedupX is how much faster the fig13 threshold sweep runs
+	// when policy variants fork one shared warmup instead of each paying
+	// for its own.
+	CheckpointSpeedupX float64 `json:"checkpoint_speedup_x,omitempty"`
+	Note               string  `json:"note,omitempty"`
 }
 
 // summaryNote qualifies the speedup figures: the -noskip baseline in this
@@ -73,8 +81,12 @@ type summary struct {
 // widen it, since disk replay cost is budget-independent).
 const summaryNote = "low_load_speedup_x compares against -noskip in the same binary; " +
 	"warm_cache_speedup_x compares a fig10 regeneration replayed from the persistent " +
-	"run cache against a cold simulate on the tiny benchmark budget; diff against the " +
-	"committed BENCH_pr4.json (benchjson -baseline BENCH_pr4.json) for the cross-PR trajectory."
+	"run cache against a cold simulate on the tiny benchmark budget; " +
+	"checkpoint_speedup_x compares the fig13 threshold sweep forking one shared warmup " +
+	"against every point warming up itself, also on the tiny budget (real budgets widen " +
+	"it, since the shared warmup amortizes over the same six settings at any length); " +
+	"diff against the committed BENCH_pr6.json (benchjson -baseline BENCH_pr6.json) for " +
+	"the cross-PR trajectory."
 
 // regressionThreshold is the fractional slowdown (ns/op) or allocation
 // growth (allocs/op) above which a benchmark counts as regressed.
@@ -89,8 +101,9 @@ func measure(name string, fn func(b *testing.B)) result {
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp:  r.AllocsPerOp(),
 		BytesPerOp:   r.AllocedBytesPerOp(),
-		CyclesPerSec: r.Extra["cycles/sec"],
-		ElisionRatio: r.Extra["elision-ratio"],
+		CyclesPerSec:      r.Extra["cycles/sec"],
+		ElisionRatio:      r.Extra["elision-ratio"],
+		WarmupCyclesPerOp: r.Extra["warmup-cycles/op"],
 	}
 }
 
@@ -102,6 +115,8 @@ func runAll() []result {
 		measure("StepSaturationNoSkip", func(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }),
 		measure("RunAllColdCache", func(b *testing.B) { bench.FiguresRunAll(b, false) }),
 		measure("RunAllWarmCache", func(b *testing.B) { bench.FiguresRunAll(b, true) }),
+		measure("SweepStraight", func(b *testing.B) { bench.Sweep(b, true) }),
+		measure("SweepCheckpointed", func(b *testing.B) { bench.Sweep(b, false) }),
 		measure("SchedulerPushPop", bench.SchedulerPushPop),
 		measure("PacketAlloc", bench.PacketAlloc),
 	}
@@ -148,15 +163,11 @@ func diff(base report, cur []result) (regressed bool) {
 		if b.NsPerOp > 0 {
 			nsPct = (now.NsPerOp - b.NsPerOp) / b.NsPerOp
 		}
-		// Allocation regressions: from a zero baseline any allocation is a
-		// regression (the ratio is undefined and the zero is load-bearing);
-		// otherwise the same fractional threshold as time.
-		allocRegressed := false
-		if b.AllocsPerOp == 0 {
-			allocRegressed = now.AllocsPerOp > 0
-		} else {
-			allocRegressed = float64(now.AllocsPerOp-b.AllocsPerOp)/float64(b.AllocsPerOp) > regressionThreshold
-		}
+		// Allocation regressions: classified by bench.AllocRegressed —
+		// unchanged counts (including 0 -> 0) never regress, any allocation
+		// from a zero baseline does, nonzero baselines use the same
+		// fractional threshold as time.
+		allocRegressed := bench.AllocRegressed(b.AllocsPerOp, now.AllocsPerOp, regressionThreshold)
 		mark := ""
 		if nsPct > regressionThreshold || allocRegressed {
 			mark = "REGR"
@@ -189,7 +200,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_pr7.json", "output file (- for stdout)")
 	in := flag.String("in", "", "read results from this report instead of running benchmarks")
 	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
 	flag.Parse()
@@ -225,10 +236,13 @@ func main() {
 	if warm, cold := byName["RunAllWarmCache"], byName["RunAllColdCache"]; warm.NsPerOp > 0 {
 		rep.Summary.WarmCacheSpeedupX = cold.NsPerOp / warm.NsPerOp
 	}
+	if ckpt, straight := byName["SweepCheckpointed"], byName["SweepStraight"]; ckpt.NsPerOp > 0 {
+		rep.Summary.CheckpointSpeedupX = straight.NsPerOp / ckpt.NsPerOp
+	}
 	rep.Summary.Note = summaryNote
-	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx\n",
+	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx\n",
 		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac,
-		rep.Summary.WarmCacheSpeedupX)
+		rep.Summary.WarmCacheSpeedupX, rep.Summary.CheckpointSpeedupX)
 
 	if *in == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

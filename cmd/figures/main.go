@@ -42,6 +42,8 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		auditFlag  = flag.Bool("audit", false, "run every simulation under the runtime invariant checker (slower, same output)")
 		noskip     = flag.Bool("noskip", false, "disable the activity-driven simulation core (slower, same output)")
+		ckpt       = flag.Bool("checkpoint", true, "share one policy-frozen warmup per (seed, rate) across policy variants via checkpoint/fork (same output)")
+		noCkpt     = flag.Bool("no-checkpoint", false, "every simulation point pays for its own warmup (slower, same output)")
 		jobs       = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; recompute everything")
@@ -87,7 +89,10 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	o := noc.ExperimentOptions{Quick: *quick, Full: *full, Seed: *seed, Audit: *auditFlag, NoSkip: *noskip}
+	o := noc.ExperimentOptions{
+		Quick: *quick, Full: *full, Seed: *seed, Audit: *auditFlag, NoSkip: *noskip,
+		NoCheckpoint: *noCkpt || !*ckpt,
+	}
 	var ids []string
 	switch {
 	case *expID == "all":

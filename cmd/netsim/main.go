@@ -6,6 +6,14 @@
 //
 //	netsim -rate 1.0 -policy history
 //	netsim -rate 1.0 -policy none
+//
+// Under the two-level workload the warmup runs policy-frozen (DVS decision
+// windows open only once measurement starts), which makes the warmed-up
+// state policy-independent: with a run cache enabled, invocations that
+// differ only in -policy, thresholds or transition latencies share one
+// persisted warmup snapshot instead of each re-simulating it. A forked
+// warmup is byte-identical to a simulated one; -no-checkpoint disables the
+// reuse without changing any result.
 package main
 
 import (
@@ -38,6 +46,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		audit    = flag.Bool("audit", false, "verify runtime invariants (conservation, VC and DVS legality) during the run")
 		noskip   = flag.Bool("noskip", false, "disable the activity-driven core (tick every router every cycle); identical results, slower")
+		ckpt     = flag.Bool("checkpoint", true, "reuse a persisted policy-frozen warmup snapshot across runs (twolevel traffic, cache enabled); identical results")
+		noCkpt   = flag.Bool("no-checkpoint", false, "always simulate the warmup; identical results, slower across policy sweeps")
 		skipst   = flag.Bool("skipstats", false, "print activity-driven core statistics (fast-forwards, elided ticks, active-router histogram)")
 		levels   = flag.Bool("levels", false, "print the final DVS level histogram")
 		traceN   = flag.Int("trace", 0, "dump the last N trace events after the run")
@@ -96,39 +106,6 @@ func main() {
 		cfg.NoSkip = *noskip
 	}
 
-	n, err := noc.New(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
-	}
-	if *traceN > 0 {
-		n.EnableTrace(*traceN)
-	}
-	switch *traffic {
-	case "twolevel":
-		err = n.AttachTwoLevel(noc.TwoLevelWorkload{
-			Rate: *rate, Tasks: *tasks, TaskDuration: *taskDur, Seed: *seed,
-		})
-	case "uniform":
-		n.AttachUniform(*rate)
-	case "transpose":
-		n.AttachTranspose(*rate)
-	case "bitreverse":
-		n.AttachBitReverse(*rate)
-	case "shuffle":
-		n.AttachShuffle(*rate)
-	case "tornado":
-		n.AttachTornado(*rate)
-	case "hotspot":
-		n.AttachHotspot(*rate, 0, 0.2)
-	default:
-		err = fmt.Errorf("unknown traffic %q", *traffic)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
-	}
-
 	if !*noCache {
 		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
 			// A cache that won't open costs speed, not correctness.
@@ -140,7 +117,9 @@ func main() {
 	}
 	// A summary is cacheable only when nothing live-only was requested:
 	// profiles, traces, level histograms, skip statistics and audit counters
-	// exist only on a real run.
+	// exist only on a real run. Warmup checkpointing needs no key suffix:
+	// a forked warmup is byte-identical to a simulated one, so both modes
+	// produce — and may share — the same entry.
 	cacheable := !*noCache && !cfg.Audit && !*skipst && !*levels && *traceN == 0 &&
 		*cpuprofile == "" && *memprofile == ""
 	var cacheKey string
@@ -171,7 +150,51 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	n.Warmup(*warmup)
+
+	var n *noc.Network
+	var err error
+	if *traffic == "twolevel" {
+		// The warmup runs policy-frozen on a captured trace; with the run
+		// cache enabled and -checkpoint (the default), it forks a persisted
+		// snapshot when a compatible invocation already simulated it.
+		n, err = noc.NewWarmedTwoLevel(cfg, noc.TwoLevelWorkload{
+			Rate: *rate, Tasks: *tasks, TaskDuration: *taskDur, Seed: *seed,
+		}, *warmup, *measure, *ckpt && !*noCkpt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		if *traceN > 0 {
+			n.EnableTrace(*traceN) // measurement events only; warmup is pre-trace
+		}
+	} else {
+		n, err = noc.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		if *traceN > 0 {
+			n.EnableTrace(*traceN)
+		}
+		switch *traffic {
+		case "uniform":
+			n.AttachUniform(*rate)
+		case "transpose":
+			n.AttachTranspose(*rate)
+		case "bitreverse":
+			n.AttachBitReverse(*rate)
+		case "shuffle":
+			n.AttachShuffle(*rate)
+		case "tornado":
+			n.AttachTornado(*rate)
+		case "hotspot":
+			n.AttachHotspot(*rate, 0, 0.2)
+		default:
+			fmt.Fprintf(os.Stderr, "netsim: unknown traffic %q\n", *traffic)
+			os.Exit(1)
+		}
+		n.Warmup(*warmup)
+	}
 	r := n.Measure(*measure)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()

@@ -1,0 +1,80 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PacketRecord is one ledger entry in a checkpoint, keyed by packet ID.
+// Active (flits exist in the network) is exactly !Queued.
+type PacketRecord struct {
+	ID           int64
+	Queued       bool
+	Ejected      int32
+	DequeueCycle int64
+}
+
+// CheckpointState is the complete serializable state of a Checker: the
+// packet ledger, the per-link energy readings of the last structural scan
+// (in the checker's channel order, which is a pure function of the
+// topology), the watchdog's progress plateau, and the counters.
+type CheckpointState struct {
+	Ledger            []PacketRecord
+	LastEnergy        []float64
+	LastProgress      int64
+	LastProgressCycle int64
+	WatchdogOnce      bool
+	Stats             Stats
+}
+
+// Checkpoint captures the checker's state. The ledger is emitted sorted by
+// packet ID so captures of identical simulations are identical.
+func (c *Checker) Checkpoint() *CheckpointState {
+	st := &CheckpointState{
+		Ledger:            make([]PacketRecord, 0, len(c.ledger)),
+		LastEnergy:        append([]float64(nil), c.lastEnergy...),
+		LastProgress:      c.lastProgress,
+		LastProgressCycle: c.lastProgressCycle,
+		WatchdogOnce:      c.watchdogOnce,
+		Stats:             c.stats,
+	}
+	for id, rec := range c.ledger {
+		st.Ledger = append(st.Ledger, PacketRecord{
+			ID:           id,
+			Queued:       rec.queued,
+			Ejected:      int32(rec.ejected),
+			DequeueCycle: rec.dequeueCycle,
+		})
+	}
+	sort.Slice(st.Ledger, func(i, j int) bool { return st.Ledger[i].ID < st.Ledger[j].ID })
+	return st
+}
+
+// Restore overwrites a freshly constructed checker (same wiring shape as
+// the captured one) with a checkpoint.
+func (c *Checker) Restore(st *CheckpointState) error {
+	if len(st.LastEnergy) != len(c.lastEnergy) {
+		return fmt.Errorf("audit: restore with %d link energy readings, want %d", len(st.LastEnergy), len(c.lastEnergy))
+	}
+	c.ledger = make(map[int64]*pktRecord, len(st.Ledger))
+	c.active = make(map[int64]*pktRecord, len(st.Ledger))
+	for _, pr := range st.Ledger {
+		if pr.Ejected < 0 || pr.Ejected > 127 {
+			return fmt.Errorf("audit: restore packet %d with %d ejected flits", pr.ID, pr.Ejected)
+		}
+		rec := &pktRecord{queued: pr.Queued, ejected: int8(pr.Ejected), dequeueCycle: pr.DequeueCycle}
+		if _, dup := c.ledger[pr.ID]; dup {
+			return fmt.Errorf("audit: restore with duplicate packet id %d", pr.ID)
+		}
+		c.ledger[pr.ID] = rec
+		if !pr.Queued {
+			c.active[pr.ID] = rec
+		}
+	}
+	copy(c.lastEnergy, st.LastEnergy)
+	c.lastProgress = st.LastProgress
+	c.lastProgressCycle = st.LastProgressCycle
+	c.watchdogOnce = st.WatchdogOnce
+	c.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,125 @@
+package audit_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/checkpoint"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestWatchdogNamesStallCycle: the deadlock report must carry the cycle it
+// fired on and how long the progress plateau lasted. Wedge node 0's +x
+// channel by draining every credit, strand a packet behind it, and check
+// the arithmetic in the violation.
+func TestWatchdogNamesStallCycle(t *testing.T) {
+	const stall = 1_200
+	n, got := buildAudited(t, func(c *network.Config) {
+		c.Policy = network.PolicyNone
+		c.Audit.StallCycles = stall
+	})
+
+	src := n.Topo.NodeAt(0, 0)
+	port := n.Topo.PortFor(0, topology.Plus)
+	out := n.Routers[src].Outputs[port]
+	for vc := 0; vc < out.VCs(); vc++ {
+		for out.Credits(vc) > 0 {
+			out.DropCreditForTest(vc)
+		}
+	}
+	n.Inject(src, n.Topo.NodeAt(3, 0), 0, 0)
+	n.Run(4_000)
+
+	var v audit.Violation
+	found := false
+	for _, w := range *got {
+		if w.Rule == "deadlock" {
+			v, found = w, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("watchdog never fired; rules seen: %v", rules(*got))
+	}
+	if v.Cycle < stall {
+		t.Errorf("deadlock reported at cycle %d, before the %d-cycle stall window could elapse", v.Cycle, stall)
+	}
+	if want := fmt.Sprintf("cycle %d", v.Cycle); !strings.Contains(v.String(), want) {
+		t.Errorf("diagnostic %q does not name %q", v.String(), want)
+	}
+	var plateau, inFlight int64
+	if _, err := fmt.Sscanf(v.Msg, "no flit moved for %d cycles with %d packets in flight", &plateau, &inFlight); err != nil {
+		t.Fatalf("stall message %q does not carry the plateau arithmetic: %v", v.Msg, err)
+	}
+	if plateau < stall {
+		t.Errorf("reported plateau of %d cycles is shorter than the %d-cycle window", plateau, stall)
+	}
+	if inFlight == 0 {
+		t.Error("deadlock reported with no packets in flight")
+	}
+	if plateau > v.Cycle {
+		t.Errorf("plateau of %d cycles exceeds the %d cycles simulated", plateau, v.Cycle)
+	}
+}
+
+// TestWatchdogSilentAcrossFork: restoring a checkpoint must not look like
+// a stall to the watchdog. The progress detector baselines itself against
+// counters the restore rebuilds, so a healthy forked run — audited from
+// warmup capture through a full measurement — stays violation-free.
+func TestWatchdogSilentAcrossFork(t *testing.T) {
+	const warm, meas = 1_500, 3_000
+	var got []audit.Violation
+	cfg := network.NewConfig()
+	cfg.K = 4
+	cfg.Audit = audit.Options{
+		Enabled:     true,
+		ScanEvery:   16,
+		StallCycles: 700,
+		OnViolation: func(v audit.Violation) { got = append(got, v) },
+	}
+
+	horizon := sim.Time(warm+meas+1) * cfg.RouterPeriod
+	p := traffic.NewTwoLevelParams(0.3)
+	p.Seed = 7
+	m, err := traffic.NewTwoLevel(p, topology.New(cfg.K, cfg.N, cfg.Torus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traffic.Capture(m, horizon)
+
+	warmed, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmed.Launch(tr, horizon)
+	warmed.SetDVSHold(true)
+	warmed.Run(warm)
+	snap, err := checkpoint.Capture(warmed)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("violations before the fork: %v", got[0])
+	}
+
+	forked, err := checkpoint.Fork(snap, cfg, tr)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	forked.SetDVSHold(false)
+	forked.BeginMeasurement()
+	forked.Run(meas)
+
+	if len(got) != 0 {
+		t.Fatalf("audit fired across the fork boundary: %v", got[0])
+	}
+	s := forked.Auditor().Stats()
+	if s.Scans == 0 || s.Checks == 0 {
+		t.Fatalf("forked run was not actually audited: %+v", s)
+	}
+}

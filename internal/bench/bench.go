@@ -121,6 +121,50 @@ func FiguresRunAll(b *testing.B, warmCache bool) {
 	}
 }
 
+// Sweep measures one multi-policy threshold sweep — the fig13 grid, 3
+// rates x 6 Table 2 settings on the tiny budget — with warmup
+// checkpointing on or off. Checkpointed, the six settings at each rate
+// fork one shared policy-frozen warmup; straight, every point pays for
+// its own. The pair's ratio is the headline number of the checkpoint
+// subsystem; warmup-cycles/op meters the work actually avoided.
+func Sweep(b *testing.B, noCheckpoint bool) {
+	exp.SetTinyBudget(true)
+	defer func() {
+		exp.SetTinyBudget(false)
+		exp.ResetCaches()
+	}()
+	o := exp.Options{Quick: true, NoCheckpoint: noCheckpoint}
+	b.ReportAllocs()
+	b.ResetTimer()
+	warmBefore := exp.WarmupCyclesExecuted()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		exp.ResetCaches() // every iteration re-simulates the whole grid
+		b.StartTimer()
+		if _, err := exp.RunAll([]string{"fig13"}, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(exp.WarmupCyclesExecuted()-warmBefore)/float64(b.N), "warmup-cycles/op")
+}
+
+// AllocRegressed classifies an allocs/op change against a baseline: a
+// benchmark regresses when it allocates at all from a zero baseline (the
+// zero is load-bearing and the ratio is undefined) or grows beyond the
+// fractional threshold from a nonzero one. An unchanged count — including
+// 0 -> 0, which is steady-state for the zero-alloc datapath benchmarks —
+// is never a regression.
+func AllocRegressed(base, now int64, threshold float64) bool {
+	if now == base {
+		return false
+	}
+	if base == 0 {
+		return now > 0
+	}
+	return float64(now-base)/float64(base) > threshold
+}
+
 // SchedulerPushPop measures the steady-state cost of one schedule+dispatch
 // pair with ~1k events pending — the simulation kernel's hot path. Mirrors
 // the benchmark in internal/sim.

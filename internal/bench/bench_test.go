@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestAllocRegressed pins the baseline-diff classification cmd/benchjson
+// applies to allocs/op — in particular that a benchmark at 0 allocs in
+// both the baseline and the current run reports as unchanged, not as
+// allocs-from-zero noise.
+func TestAllocRegressed(t *testing.T) {
+	const threshold = 0.10
+	cases := []struct {
+		name      string
+		base, now int64
+		want      bool
+	}{
+		{"zero-to-zero-unchanged", 0, 0, false},
+		{"zero-to-one-regressed", 0, 1, true},
+		{"zero-to-many-regressed", 0, 64, true},
+		{"nonzero-unchanged", 12, 12, false},
+		{"within-threshold", 100, 110, false},
+		{"beyond-threshold", 100, 111, true},
+		{"improvement", 100, 3, false},
+		{"to-zero-improvement", 7, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := AllocRegressed(c.base, c.now, threshold); got != c.want {
+				t.Errorf("AllocRegressed(%d, %d, %g) = %t, want %t",
+					c.base, c.now, threshold, got, c.want)
+			}
+		})
+	}
+}

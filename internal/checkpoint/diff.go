@@ -1,0 +1,98 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/network"
+)
+
+// Diff compares two networks' complete logical state field by field and
+// reports the first divergence as a path into the state tree — naming the
+// router, port, VC slot or link involved, e.g.
+// "Routers[12].Buf[7][3].Flit: 140 != 255" — or "" when the states are
+// equal. It is the conformance suite's primary instrument: a forked run
+// and an uninterrupted run must diff clean at every common cycle.
+//
+// The comparison walks the checkpoint capture of each network, which is
+// the network's state normalized (ring cursors rebased, scratch and
+// derived structures excluded), so two runs diff equal exactly when their
+// observable behavior is identical from here on. Floats are compared by
+// bit pattern: byte-identity, not tolerance.
+func Diff(a, b *network.Network) (string, error) {
+	as, err := a.CaptureForDiff()
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: diff capture of first network: %w", err)
+	}
+	bs, err := b.CaptureForDiff()
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: diff capture of second network: %w", err)
+	}
+	return DiffStates(as, bs), nil
+}
+
+// DiffStates reports the first divergent field path between two captured
+// states, or "" when equal.
+func DiffStates(a, b *network.CheckpointState) string {
+	return diffValue("", reflect.ValueOf(a).Elem(), reflect.ValueOf(b).Elem())
+}
+
+func diffValue(path string, a, b reflect.Value) string {
+	if a.Type() != b.Type() {
+		return fmt.Sprintf("%s: type %v != %v", path, a.Type(), b.Type())
+	}
+	switch a.Kind() {
+	case reflect.Bool:
+		if a.Bool() != b.Bool() {
+			return fmt.Sprintf("%s: %t != %t", path, a.Bool(), b.Bool())
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if a.Int() != b.Int() {
+			return fmt.Sprintf("%s: %d != %d", path, a.Int(), b.Int())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if a.Uint() != b.Uint() {
+			return fmt.Sprintf("%s: %d != %d", path, a.Uint(), b.Uint())
+		}
+	case reflect.Float64:
+		if math.Float64bits(a.Float()) != math.Float64bits(b.Float()) {
+			return fmt.Sprintf("%s: %v != %v", path, a.Float(), b.Float())
+		}
+	case reflect.String:
+		if a.String() != b.String() {
+			return fmt.Sprintf("%s: %q != %q", path, a.String(), b.String())
+		}
+	case reflect.Slice, reflect.Array:
+		if a.Kind() == reflect.Slice && a.Len() != b.Len() {
+			return fmt.Sprintf("%s: length %d != %d", path, a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if d := diffValue(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i)); d != "" {
+				return d
+			}
+		}
+	case reflect.Struct:
+		t := a.Type()
+		for i := 0; i < t.NumField(); i++ {
+			p := t.Field(i).Name
+			if path != "" {
+				p = path + "." + p
+			}
+			if d := diffValue(p, a.Field(i), b.Field(i)); d != "" {
+				return d
+			}
+		}
+	case reflect.Pointer:
+		switch {
+		case a.IsNil() && b.IsNil():
+		case a.IsNil() != b.IsNil():
+			return fmt.Sprintf("%s: present %t != %t", path, !a.IsNil(), !b.IsNil())
+		default:
+			return diffValue(path, a.Elem(), b.Elem())
+		}
+	default:
+		return fmt.Sprintf("%s: uncomparable kind %v", path, a.Kind())
+	}
+	return ""
+}

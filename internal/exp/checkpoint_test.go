@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderTables flattens an experiment's tables to the exact bytes
+// cmd/figures would print.
+func renderTables(t *testing.T, id string, o Options) string {
+	t.Helper()
+	tabs, err := Run(id, o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var sb strings.Builder
+	for _, tab := range tabs {
+		tab.Fprint(&sb)
+	}
+	return sb.String()
+}
+
+// TestCheckpointReducesWarmupWork is the acceptance meter for the
+// checkpoint path: a threshold sweep (fig13: 3 rates x 6 Table 2
+// settings) shares one warm key per rate, so the checkpointed sweep must
+// warm up exactly once per (seed, rate) — 3 warmups instead of 18, a 6x
+// reduction in warmup cycles, far past the required 25% — while
+// producing byte-identical tables.
+func TestCheckpointReducesWarmupWork(t *testing.T) {
+	tinyBudget = true
+	defer func() {
+		tinyBudget = false
+		ResetCaches()
+	}()
+
+	sweep := func(o Options) (string, int64) {
+		ResetCaches()
+		before := WarmupCyclesExecuted()
+		out := renderTables(t, "fig13", o)
+		return out, WarmupCyclesExecuted() - before
+	}
+	straightOut, straight := sweep(Options{Quick: true, NoCheckpoint: true})
+	forkedOut, forked := sweep(Options{Quick: true})
+
+	if straightOut != forkedOut {
+		t.Errorf("checkpointing changed fig13 output:\n--- straight ---\n%s--- forked ---\n%s",
+			straightOut, forkedOut)
+	}
+	if straight == 0 {
+		t.Fatal("straight sweep executed no warmup cycles")
+	}
+	if forked > straight*3/4 {
+		t.Errorf("checkpointed sweep warmed up %d cycles vs %d straight; want at least a 25%% reduction",
+			forked, straight)
+	}
+	// Exactly once per (seed, rate): the 6 settings at each rate must share
+	// one warmup, so a capture refusal or key drift that silently re-warms
+	// fails here, not just the looser threshold above.
+	if want := straight / 6; forked != want {
+		t.Errorf("checkpointed sweep warmed up %d cycles; want exactly %d (one warmup per rate)",
+			forked, want)
+	}
+}

@@ -27,7 +27,11 @@ import (
 // encodings of this package. Bump it whenever a spec field, an Options
 // field, a cached payload shape, or the meaning of any serialized value
 // changes — stale entries from older schemas then become unreachable.
-const SchemaVersion = 1
+//
+// v2: warmups run policy-frozen (network.SetDVSHold) and a new "ckpt|"
+// payload kind persists warmed-up snapshots; both change what every
+// cached result means, so v1 entries are unreachable.
+const SchemaVersion = 2
 
 // diskStore is the process-wide persistent cache; nil (the default) means
 // results live only in the in-memory caches, exactly the pre-cache
@@ -133,5 +137,30 @@ func CacheStoreJSON(key string, v any) {
 	}
 	if b, err := json.Marshal(v); err == nil {
 		s.Put(key, b)
+	}
+}
+
+// CacheLookupRaw, CacheStoreRaw and CacheDropRaw are the binary-payload
+// variants for artifacts that are not JSON (noc's warmed-up checkpoint
+// snapshots). The store still checksums payloads; semantic validation —
+// does it decode, does it fit this platform — is the caller's, and a
+// payload that fails it should be dropped so the slot recomputes.
+func CacheLookupRaw(key string) ([]byte, bool) {
+	s := diskStore.Load()
+	if s == nil {
+		return nil, false
+	}
+	return s.Get(key)
+}
+
+func CacheStoreRaw(key string, b []byte) {
+	if s := diskStore.Load(); s != nil {
+		s.Put(key, b)
+	}
+}
+
+func CacheDropRaw(key string) {
+	if s := diskStore.Load(); s != nil {
+		s.Drop(key)
 	}
 }

@@ -34,6 +34,13 @@ type Options struct {
 	// skipping and quiescent fast-forward). Results are identical with or
 	// without it; only speed differs.
 	NoSkip bool
+	// NoCheckpoint disables the warmup checkpoint/fork fast path: every
+	// simulation point then executes its own warmup from cycle 0 instead of
+	// forking a shared warmed-up snapshot. Results are identical either way
+	// (the fork-equivalence conformance suite in internal/checkpoint pins
+	// byte-identity); only speed differs. It is deliberately absent from
+	// cache keys so both modes share cached results.
+	NoCheckpoint bool
 }
 
 // tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
@@ -228,6 +235,27 @@ var noTraceMemo bool
 // ablations then pay for workload generation once instead of per variant.
 // Oversized points fall back to the live model.
 func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.Model, sim.Time) {
+	cfg := s.config(o)
+	n, err := network.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	p := s.twoLevelParams(o)
+	horizon := sim.Time(horizonCycles) * cfg.RouterPeriod
+	if !noTraceMemo {
+		if tr := traffic.SharedTwoLevelTrace(p, n.Topo, horizon); tr != nil {
+			return n, tr, horizon
+		}
+	}
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		panic(err)
+	}
+	return n, m, horizon
+}
+
+// config assembles the platform configuration for a spec.
+func (s spec) config(o Options) network.Config {
 	cfg := network.NewConfig()
 	cfg.Policy = s.policy
 	cfg.Routing = s.routing
@@ -255,10 +283,11 @@ func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.M
 	cfg.Torus = s.torus
 	cfg.Audit.Enabled = o.Audit
 	cfg.NoSkip = o.NoSkip
-	n, err := network.New(cfg)
-	if err != nil {
-		panic(err)
-	}
+	return cfg
+}
+
+// twoLevelParams assembles the workload parameters for a spec.
+func (s spec) twoLevelParams(o Options) traffic.TwoLevelParams {
 	p := traffic.NewTwoLevelParams(s.rate)
 	p.AvgTasks = s.tasks
 	p.AvgTaskDuration = s.taskDur
@@ -266,17 +295,7 @@ func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.M
 	if p.Seed == 0 {
 		p.Seed = o.seed()
 	}
-	horizon := sim.Time(horizonCycles) * cfg.RouterPeriod
-	if !noTraceMemo {
-		if tr := traffic.SharedTwoLevelTrace(p, n.Topo, horizon); tr != nil {
-			return n, tr, horizon
-		}
-	}
-	m, err := traffic.NewTwoLevel(p, n.Topo)
-	if err != nil {
-		panic(err)
-	}
-	return n, m, horizon
+	return p
 }
 
 // cacheKey is the canonical, versioned serialization of one simulation
@@ -309,13 +328,7 @@ func run(s spec, o Options) network.Results {
 	return runCache.do(key, func() network.Results {
 		return cached(key, func() (r network.Results) {
 			withSimSlot(func() {
-				warm, meas := o.budget()
-				n, m, horizon := s.build(o, warm+meas+1)
-				n.Launch(m, horizon)
-				n.Run(warm)
-				n.BeginMeasurement()
-				n.Run(meas)
-				r = n.Snapshot()
+				r = simulate(s, o)
 			})
 			return r
 		})

@@ -137,13 +137,15 @@ func TestFig10Shape(t *testing.T) {
 			t.Errorf("row %d: DVS throughput %.3f far below baseline %.3f", i, thrDVS, thrBase)
 		}
 	}
-	// Savings at the lightest load are large. (At the quick budget the
-	// 9-step descent from the power-on level eats into the measurement
-	// window — each downward step costs a 10 us voltage ramp — so the
-	// steady-state savings are underestimated; the default and -full
-	// budgets land in the paper's 4-6X range.)
-	if sav := cell(t, pow, 0, 3); sav < 2.2 {
-		t.Errorf("light-load savings = %.2f, want > 2.2X even at quick budget", sav)
+	// Savings at the lightest load are real. (The policy-frozen warmup —
+	// what lets checkpointed sweeps share one warmup across policy
+	// variants — leaves the 9-step descent from the power-on level
+	// entirely inside the measurement window, and each downward step
+	// costs a 10 us voltage ramp, so the quick budget's window is mostly
+	// descent and steady-state savings are heavily underestimated; -full
+	// removes the bias. See EXPERIMENTS.md note 3.)
+	if sav := cell(t, pow, 0, 3); sav < 1.25 {
+		t.Errorf("light-load savings = %.2f, want > 1.25X even at quick budget", sav)
 	}
 	first := cell(t, pow, 0, 2)
 	lastRow := len(pow.Rows) - 1
@@ -208,8 +210,11 @@ func TestHeadlineTable(t *testing.T) {
 	if len(tab.Rows) != 4 {
 		t.Fatalf("headline rows = %d, want 4", len(tab.Rows))
 	}
-	if got := cell(t, tab, 0, 2); got < 2.2 {
-		t.Errorf("max savings = %.1fX, want > 2.2X at quick budget", got)
+	// Quick-budget savings sit low because the DVS descent happens inside
+	// the measurement window (EXPERIMENTS.md note 3); assert they are
+	// still unmistakably present.
+	if got := cell(t, tab, 0, 2); got < 1.25 {
+		t.Errorf("max savings = %.1fX, want > 1.25X at quick budget", got)
 	}
 }
 

@@ -142,6 +142,81 @@ func TestGoldenWithDiskCache(t *testing.T) {
 	}
 }
 
+// TestGoldenWithCheckpoint: the golden pins must hold with warmup
+// checkpointing active end to end — warmed snapshots captured, persisted
+// under "ckpt|" keys and forked per variant — cold and warm, at worker
+// counts 1, 2 and 8. The warm rerun must be a pure replay (zero disk
+// misses): checkpointing may change how much work a sweep does, never a
+// byte of its output or a property of its cache.
+func TestGoldenWithCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden comparison skipped in -short")
+	}
+	defer func() {
+		SetDiskCache(nil)
+		SetParallelism(0)
+		ResetCaches()
+	}()
+
+	for _, j := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("j%d", j), func(t *testing.T) {
+			s, err := runcache.Open(t.TempDir(), runcache.Options{Fingerprint: "exp-golden-checkpoint-test"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetDiskCache(s)
+			SetParallelism(j)
+
+			ResetCaches()
+			compareGolden(t, "fig10") // cold: warm up once per rate, fork, store
+			compareGolden(t, "tab1")
+			afterCold := s.Stats()
+			if afterCold.Puts == 0 {
+				t.Fatalf("cold checkpointed run stored nothing: %+v", afterCold)
+			}
+
+			ResetCaches()
+			compareGolden(t, "fig10") // warm: replay from disk
+			compareGolden(t, "tab1")
+			afterWarm := s.Stats()
+			if d := afterWarm.Misses - afterCold.Misses; d != 0 {
+				t.Errorf("warm checkpointed rerun missed %d times; want 0", d)
+			}
+			if afterWarm.Hits == afterCold.Hits {
+				t.Errorf("warm checkpointed rerun never hit the disk store: %+v", afterWarm)
+			}
+		})
+	}
+}
+
+// TestGoldenNoCheckpoint: disabling the checkpoint path must not change a
+// byte either — the same pin holds when every point pays for its own
+// warmup. Together with the default-path pins this is the on/off
+// equivalence guarantee at golden granularity.
+func TestGoldenNoCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden comparison skipped in -short")
+	}
+	ResetCaches() // NoCheckpoint shares cache keys; force real straight runs
+	defer ResetCaches()
+	want, err := os.ReadFile(goldenPath("fig10"))
+	if err != nil {
+		t.Fatalf("fig10: %v (regenerate with: go test ./internal/exp -run TestGoldenFigures -update)", err)
+	}
+	tabs, err := Run("fig10", Options{Quick: true, NoCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range tabs {
+		tab.Fprint(&sb)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("fig10: -no-checkpoint output drifted from the golden pin\n--- got ---\n%s--- want ---\n%s",
+			sb.String(), want)
+	}
+}
+
 // TestAuditDoesNotPerturbResults: enabling the runtime invariant audit
 // must not change a single simulated number — it reads, never steers.
 func TestAuditDoesNotPerturbResults(t *testing.T) {

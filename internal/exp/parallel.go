@@ -225,6 +225,7 @@ var measureCache = newSFCache[Options, *measureSet](16)
 func ResetCaches() {
 	runCache.reset()
 	measureCache.reset()
+	warmSnapCache.reset()
 	traffic.ResetTraceCache()
 }
 

@@ -68,6 +68,12 @@ type DVSLink struct {
 	transitions      int
 	timeAtLevel      []sim.Duration
 	flitsSent        int64
+
+	// Dispatch key of the in-flight transition's pending completion event.
+	// A checkpoint restore re-arms the event under the same key so the
+	// forked scheduler dispatches it in the original order.
+	pendAt  sim.Time
+	pendSeq int64
 }
 
 // NewDVSLink returns a link at startLevel. sched drives transition
@@ -183,7 +189,8 @@ func (l *DVSLink) RequestStep(now sim.Time, up bool) bool {
 		// for the whole ramp.
 		l.state = VoltRamping
 		l.volt = l.table.Volt[target]
-		l.sched.At(now+l.table.Params.VoltTransition, l.voltRampDone)
+		l.pendAt = now + l.table.Params.VoltTransition
+		l.pendSeq = l.sched.At(l.pendAt, l.voltRampDone)
 	} else {
 		l.startFreqLock(now)
 	}
@@ -199,7 +206,8 @@ func (l *DVSLink) startFreqLock(now sim.Time) {
 	l.deadStart = now
 	dead := sim.Duration(l.table.Params.FreqTransitionCycles) * l.table.Period[l.target]
 	l.deadUntil = now + dead
-	l.sched.At(l.deadUntil, l.freqLockDone)
+	l.pendAt = l.deadUntil
+	l.pendSeq = l.sched.At(l.deadUntil, l.freqLockDone)
 }
 
 // voltRampDone finishes the voltage phase of an upward transition and
@@ -232,7 +240,8 @@ func (l *DVSLink) freqLockDone() {
 	// Slowing down: ramp the voltage down now; the link keeps relaying at
 	// the new frequency while the regulator discharges.
 	l.state = VoltRamping
-	l.sched.At(now+l.table.Params.VoltTransition, l.voltDownDone)
+	l.pendAt = now + l.table.Params.VoltTransition
+	l.pendSeq = l.sched.At(l.pendAt, l.voltDownDone)
 }
 
 // voltDownDone completes a downward transition.
@@ -286,6 +295,123 @@ type Stats struct {
 	EnergyJ          float64
 	TransitionEnergy float64
 	TimeAtLevel      []sim.Duration
+}
+
+// CheckpointState is the complete serializable state of one DVS link:
+// level/voltage/state machine, serialization and dead-time clocks, the
+// utilization window, the energy ledger, and the dispatch key of the
+// pending transition-completion event (zero when Functional). Restoring it
+// into a fresh link on a fresh scheduler reproduces the original link's
+// behaviour exactly.
+type CheckpointState struct {
+	Level  int
+	Target int
+	From   int
+	State  State
+	Volt   float64
+
+	BusyUntil sim.Time
+	DeadUntil sim.Time
+	DeadStart sim.Time
+
+	WindowBusy sim.Duration
+	WindowDead sim.Duration
+
+	LastAccrued      sim.Time
+	EnergyJ          float64
+	TransitionEnergy float64
+	Transitions      int
+	TimeAtLevel      []sim.Duration
+	FlitsSent        int64
+
+	PendAt  sim.Time
+	PendSeq int64
+}
+
+// Checkpoint captures the link's complete state without accruing energy:
+// the lazy ledger is part of the state, so capture must not touch it or a
+// forked run would accrue a window the straight run accrues later.
+func (l *DVSLink) Checkpoint() CheckpointState {
+	tl := make([]sim.Duration, len(l.timeAtLevel))
+	copy(tl, l.timeAtLevel)
+	return CheckpointState{
+		Level:            l.level,
+		Target:           l.target,
+		From:             l.from,
+		State:            l.state,
+		Volt:             l.volt,
+		BusyUntil:        l.busyUntil,
+		DeadUntil:        l.deadUntil,
+		DeadStart:        l.deadStart,
+		WindowBusy:       l.windowBusy,
+		WindowDead:       l.windowDead,
+		LastAccrued:      l.lastAccrued,
+		EnergyJ:          l.energyJ,
+		TransitionEnergy: l.transitionEnergy,
+		Transitions:      l.transitions,
+		TimeAtLevel:      tl,
+		FlitsSent:        l.flitsSent,
+		PendAt:           l.pendAt,
+		PendSeq:          l.pendSeq,
+	}
+}
+
+// Restore overwrites the link's state with a checkpoint and, when a
+// transition is in flight, re-arms the pending completion event under its
+// captured dispatch key. Which callback to arm is fully determined by the
+// state machine: FreqLocking always waits for freqLockDone; VoltRamping
+// waits for voltRampDone while the level still differs from the target
+// (upward, voltage phase) and for voltDownDone once they agree (downward,
+// final ramp). The scheduler's sequence counter must already cover PendSeq
+// (see sim.Scheduler.SetSeqCounter).
+func (l *DVSLink) Restore(st CheckpointState) error {
+	levels := l.table.Params.Levels
+	if st.Level < 0 || st.Level >= levels {
+		return fmt.Errorf("link: restore level %d outside [0,%d)", st.Level, levels)
+	}
+	if st.Target < 0 || st.Target >= levels {
+		return fmt.Errorf("link: restore target %d outside [0,%d)", st.Target, levels)
+	}
+	if st.From < 0 || st.From >= levels {
+		return fmt.Errorf("link: restore from-level %d outside [0,%d)", st.From, levels)
+	}
+	if st.State > FreqLocking {
+		return fmt.Errorf("link: restore with unknown state %d", uint8(st.State))
+	}
+	if len(st.TimeAtLevel) != levels {
+		return fmt.Errorf("link: restore with %d per-level durations, want %d", len(st.TimeAtLevel), levels)
+	}
+	if st.State == Functional != (st.PendSeq == 0) {
+		return fmt.Errorf("link: restore state %v inconsistent with pending seq %d", st.State, st.PendSeq)
+	}
+	l.level = st.Level
+	l.target = st.Target
+	l.from = st.From
+	l.state = st.State
+	l.volt = st.Volt
+	l.busyUntil = st.BusyUntil
+	l.deadUntil = st.DeadUntil
+	l.deadStart = st.DeadStart
+	l.windowBusy = st.WindowBusy
+	l.windowDead = st.WindowDead
+	l.lastAccrued = st.LastAccrued
+	l.energyJ = st.EnergyJ
+	l.transitionEnergy = st.TransitionEnergy
+	l.transitions = st.Transitions
+	copy(l.timeAtLevel, st.TimeAtLevel)
+	l.flitsSent = st.FlitsSent
+	l.pendAt = st.PendAt
+	l.pendSeq = st.PendSeq
+	switch {
+	case l.state == Functional:
+	case l.state == FreqLocking:
+		l.sched.AtSeq(l.pendAt, l.pendSeq, l.freqLockDone)
+	case l.target != l.level:
+		l.sched.AtSeq(l.pendAt, l.pendSeq, l.voltRampDone)
+	default:
+		l.sched.AtSeq(l.pendAt, l.pendSeq, l.voltDownDone)
+	}
+	return nil
 }
 
 // StatsAt reports the link's counters accrued through now.

@@ -291,15 +291,38 @@ type Network struct {
 	// aud, when non-nil, is the runtime invariant checker; every hook site
 	// nil-checks it so the disabled cost is one pointer compare.
 	aud *audit.Checker
-	// audSlow mirrors messages that fell back to the scheduler (due beyond
-	// the ring span) so conservation scans can still see them. Always
-	// empty when auditing is off.
-	audSlow []slowMsg
+	// slow mirrors messages that fell back to the scheduler (due beyond the
+	// ring span) so audit conservation scans and checkpoints can enumerate
+	// them. The slow path is cold by construction — link serialization and
+	// credit return delays never approach the ring span — so the tracking
+	// costs nothing in steady state.
+	slow []*slowEntry
+
+	// dvsHold freezes the DVS policies: while held, history windows never
+	// close and no link transition can start, so the simulation is
+	// policy-independent. Experiment warmups run held, which is what lets a
+	// warmed-up state be checkpointed once and forked per policy variant.
+	dvsHold bool
+	// policiesTouched flips when a policy window closes on any real (non
+	// NoDVS) controller — from then on the controllers carry history state a
+	// checkpoint does not capture, so capture refuses.
+	policiesTouched bool
+
+	// Attached traffic model (Launch). replay is non-nil when the model is
+	// a recorded trace, whose resumable walk makes the network
+	// checkpointable.
+	model   traffic.Model
+	horizon sim.Time
+	replay  *traffic.Replay
 }
 
-// slowMsg is one scheduler-fallback message tracked for the audit: a flit
-// arrival when in != nil, otherwise a credit return.
-type slowMsg struct {
+// slowEntry is one scheduler-fallback message: a flit arrival when in is
+// non-nil, otherwise a credit return. at/seq are the pending event's
+// dispatch key, recorded so a checkpoint can re-arm it exactly.
+type slowEntry struct {
+	at   sim.Time
+	seq  int64
+	node int // arrival destination router; -1 for credits
 	in   *router.InputPort
 	flit *flow.Flit
 	out  *router.OutputPort
@@ -418,12 +441,10 @@ func New(cfg Config) (*Network, error) {
 	for i := range n.linkAt {
 		n.linkAt[i] = make([]*link.DVSLink, cfg.Router.Ports)
 	}
-	var all []*link.DVSLink
 	for _, ch := range topo.Channels() {
 		port := topo.PortFor(ch.Dim, ch.Dir)
 		l := link.NewDVSLink(table, n.Sched, start)
 		n.linkAt[ch.Src][port] = l
-		all = append(all, l)
 		out := n.Routers[ch.Src].Outputs[port]
 		out.Link = l
 		n.ctls = append(n.ctls, &portCtl{
@@ -451,7 +472,10 @@ func New(cfg Config) (*Network, error) {
 	}
 
 	n.Lat = stats.NewLatency(cfg.RouterPeriod)
-	n.Meter = power.NewMeter(table, all, 0)
+	// Meter links in Links() order — the same order BeginMeasurement uses —
+	// so the meter's float summation order never depends on which
+	// constructor built it (checkpoint restore relies on the alignment).
+	n.Meter = power.NewMeter(table, n.Links(), 0)
 
 	nodes := topo.Nodes()
 	words := (nodes + 63) / 64
@@ -497,7 +521,7 @@ func (n *Network) walkTransit(v audit.TransitVisitor) {
 			v.Credit(cm.out, cm.vc)
 		}
 	}
-	for _, s := range n.audSlow {
+	for _, s := range n.slow {
 		if s.in != nil {
 			v.Flit(s.in, s.flit)
 		} else {
@@ -511,11 +535,11 @@ func (n *Network) walkTransit(v audit.TransitVisitor) {
 	}
 }
 
-// audSlowDrop removes one tracked scheduler-fallback message.
-func (n *Network) audSlowDrop(m slowMsg) {
-	for i := range n.audSlow {
-		if n.audSlow[i] == m {
-			n.audSlow = append(n.audSlow[:i], n.audSlow[i+1:]...)
+// slowDrop removes one tracked scheduler-fallback message by identity.
+func (n *Network) slowDrop(e *slowEntry) {
+	for i := range n.slow {
+		if n.slow[i] == e {
+			n.slow = append(n.slow[:i], n.slow[i+1:]...)
 			return
 		}
 	}
@@ -627,7 +651,7 @@ func (n *Network) Step() {
 	n.skips.RouterTicksElided += int64(len(n.Routers) - ticked)
 	n.skips.ActiveHist[ticked]++
 	n.cycle++
-	if n.cycle%int64(n.Cfg.DVS.H) == 0 {
+	if !n.dvsHold && n.cycle%int64(n.Cfg.DVS.H) == 0 {
 		n.runPolicies(now)
 	}
 	if n.Probe != nil && n.ProbeEvery > 0 && n.cycle%n.ProbeEvery == 0 {
@@ -682,9 +706,10 @@ func (n *Network) nextInterestingCycle(target int64) int64 {
 			next = c
 		}
 	}
-	if n.Cfg.Policy != PolicyNone {
+	if n.Cfg.Policy != PolicyNone && !n.dvsHold {
 		// With PolicyNone every controller is core.NoDVS and runPolicies is
-		// a no-op, so window closes need not execute.
+		// a no-op, so window closes need not execute; the same holds while
+		// the policies are frozen by a DVS hold.
 		if c := boundaryFrom(n.cycle, int64(n.Cfg.DVS.H)); c < next {
 			next = c
 		}
@@ -734,20 +759,13 @@ func (n *Network) dueCycle(at sim.Time) int64 {
 func (n *Network) enqueueArrival(node int, in *router.InputPort, f *flow.Flit, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
-		if n.aud == nil {
-			n.Sched.At(at, func() {
-				n.markActive(node)
-				in.Arrive(f, n.Sched.Now())
-			})
-		} else {
-			m := slowMsg{in: in, flit: f}
-			n.audSlow = append(n.audSlow, m)
-			n.Sched.At(at, func() {
-				n.audSlowDrop(m)
-				n.markActive(node)
-				in.Arrive(f, n.Sched.Now())
-			})
-		}
+		e := &slowEntry{at: at, node: node, in: in, flit: f}
+		n.slow = append(n.slow, e)
+		e.seq = n.Sched.At(at, func() {
+			n.slowDrop(e)
+			n.markActive(e.node)
+			e.in.Arrive(e.flit, n.Sched.Now())
+		})
 		return
 	}
 	b := &n.ring[due%ringSize]
@@ -761,16 +779,12 @@ func (n *Network) enqueueArrival(node int, in *router.InputPort, f *flow.Flit, a
 func (n *Network) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	due := n.dueCycle(at)
 	if due-n.cycle >= ringSize {
-		if n.aud == nil {
-			n.Sched.At(at, func() { out.ReturnCredit(vc, n.Sched.Now()) })
-		} else {
-			m := slowMsg{out: out, vc: vc}
-			n.audSlow = append(n.audSlow, m)
-			n.Sched.At(at, func() {
-				n.audSlowDrop(m)
-				out.ReturnCredit(vc, n.Sched.Now())
-			})
-		}
+		e := &slowEntry{at: at, node: -1, out: out, vc: vc}
+		n.slow = append(n.slow, e)
+		e.seq = n.Sched.At(at, func() {
+			n.slowDrop(e)
+			e.out.ReturnCredit(e.vc, n.Sched.Now())
+		})
 		return
 	}
 	b := &n.ring[due%ringSize]
@@ -963,6 +977,36 @@ func (n *Network) ejectNode(r *router.Router, now sim.Time) {
 	}
 }
 
+// SetDVSHold freezes (true) or releases (false) the DVS policies. While
+// held, no history window closes and no link transition can start, so the
+// run is independent of the configured policy and thresholds. Releasing
+// the hold drains every policy-visible window (link utilization, output
+// occupancy integrals, input buffer-age windows) so the first live window
+// covers only post-release activity, deterministically — an uninterrupted
+// held warmup and a checkpoint-forked one release into identical state.
+func (n *Network) SetDVSHold(hold bool) {
+	if n.dvsHold == hold {
+		return
+	}
+	n.dvsHold = hold
+	if hold {
+		return
+	}
+	now := n.Now()
+	for _, c := range n.ctls {
+		c.link.TakeUtilization(now)
+		c.out.TakeOccupancyIntegral(now)
+	}
+	for _, r := range n.Routers {
+		for _, in := range r.Inputs {
+			in.TakeAgeWindow()
+		}
+	}
+}
+
+// DVSHold reports whether the DVS policies are frozen.
+func (n *Network) DVSHold() bool { return n.dvsHold }
+
 // runPolicies closes one history window on every controlled port.
 func (n *Network) runPolicies(now sim.Time) {
 	window := sim.Duration(n.Cfg.DVS.H) * n.Cfg.RouterPeriod
@@ -972,6 +1016,7 @@ func (n *Network) runPolicies(now sim.Time) {
 			// windows to instrumentation probes.
 			continue
 		}
+		n.policiesTouched = true
 		busy, dead := c.link.TakeUtilization(now)
 		lu := core.LinkUtilization(busy, window-dead)
 		bu := core.BufferUtilization(c.out.TakeOccupancyIntegral(now), c.out.TotalSlots(), window)
@@ -1040,7 +1085,15 @@ func (n *Network) Snapshot() Results {
 	}
 }
 
-// Launch attaches a traffic model from now until horizon.
+// Launch attaches a traffic model from now until horizon. A recorded trace
+// (*traffic.Trace) attaches through its resumable replay handle, which is
+// what makes the network checkpointable; live models drive the scheduler
+// directly through opaque event chains and cannot be captured.
 func (n *Network) Launch(m traffic.Model, horizon sim.Time) {
+	n.model, n.horizon = m, horizon
+	if tr, ok := m.(*traffic.Trace); ok {
+		n.replay = tr.LaunchReplay(n.Sched, horizon, n.Inject)
+		return
+	}
 	m.Launch(n.Sched, horizon, n.Inject)
 }

@@ -88,6 +88,32 @@ func NewMeter(t *link.Table, links []*link.DVSLink, epoch sim.Time) *Meter {
 	return m
 }
 
+// MeterState is the complete serializable state of a Meter: the measurement
+// epoch and the per-link energy baselines, in the meter's link order. The
+// links themselves checkpoint separately.
+type MeterState struct {
+	Epoch sim.Time
+	Base  []float64
+}
+
+// Checkpoint captures the meter's state.
+func (m *Meter) Checkpoint() MeterState {
+	base := make([]float64, len(m.base))
+	copy(base, m.base)
+	return MeterState{Epoch: m.epoch, Base: base}
+}
+
+// Restore overwrites the meter's epoch and baselines with a checkpoint. The
+// meter must already aggregate the same number of links in the same order.
+func (m *Meter) Restore(st MeterState) error {
+	if len(st.Base) != len(m.base) {
+		return fmt.Errorf("power: meter restore with %d baselines, want %d", len(st.Base), len(m.base))
+	}
+	m.epoch = st.Epoch
+	copy(m.base, st.Base)
+	return nil
+}
+
 // EnergyJ reports total link energy consumed since the epoch, through now.
 func (m *Meter) EnergyJ(now sim.Time) float64 {
 	e := 0.0

@@ -1,0 +1,306 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Checkpointing captures a router's complete logical state between network
+// steps. The capture is *normalized*: circular buffers are recorded
+// front-to-back and restored at head 0, route-candidate segments keep only
+// their live prefix, and the allocator work-lists (rcList, vaSet, saMask)
+// are not recorded at all — they are pure functions of the per-VC stages
+// and buffer counts at a step boundary and are rebuilt on restore. Ring
+// positions and stale slots carry no behavioral information, so a forked
+// router is behaviorally identical to the original even though its memory
+// layout differs; the conformance walker compares normalized captures, so
+// the normalization is invisible to it too.
+//
+// Flits are referenced by int32 handles: the checkpoint layer owns the
+// packet table and passes encode/decode callbacks, keeping this package
+// free of serialization concerns.
+
+// BufSlot is one buffered flit in a normalized capture.
+type BufSlot struct {
+	Flit      int32
+	ArrivedAt sim.Time
+}
+
+// TxSlot is one output-pipeline entry in a normalized capture.
+type TxSlot struct {
+	Flit    int32
+	ReadyAt sim.Time
+}
+
+// InputPortState is the per-port input state: the buffer-age window and the
+// lifetime write counter.
+type InputPortState struct {
+	WindowResidency sim.Duration
+	WindowDeparted  int64
+	Writes          int64
+}
+
+// OutputPortState is the per-port output state: the post-crossbar pipeline
+// (front-to-back) and the downstream-occupancy integral.
+type OutputPortState struct {
+	Tx          []TxSlot
+	Occupied    int32
+	OccIntegral sim.Duration
+	LastOccAt   sim.Time
+}
+
+// CheckpointState is the normalized logical state of one router. Per-VC
+// slices are indexed by the global VC id g = port*VCs + vc.
+type CheckpointState struct {
+	Stage   []uint8
+	OutPort []int32
+	OutVC   []int32
+	Cand    [][]routing.MaskCandidate
+	Buf     [][]BufSlot
+
+	OutCredits []int32
+	OutHeldBy  []int32
+
+	InArbLast []int32
+	SAArbLast []int32
+	VAArbLast []int32
+
+	FlitsSwitched int64
+	Activity      Activity
+
+	Inputs  []InputPortState
+	Outputs []OutputPortState
+}
+
+// CaptureCheckpoint records the router's normalized state. encode maps a
+// live flit to its table handle. It fails if the router is mid-cycle (the
+// RC work-list is non-empty, or a VC sits idle over a non-empty buffer —
+// states that exist only inside a Step).
+func (r *Router) CaptureCheckpoint(encode func(*flow.Flit) int32) (*CheckpointState, error) {
+	if len(r.rcList) != 0 {
+		return nil, fmt.Errorf("router %d: capture mid-cycle: RC work-list has %d entries", r.ID, len(r.rcList))
+	}
+	n := r.nvc
+	st := &CheckpointState{
+		Stage:   make([]uint8, n),
+		OutPort: make([]int32, n),
+		OutVC:   make([]int32, n),
+		Cand:    make([][]routing.MaskCandidate, n),
+		Buf:     make([][]BufSlot, n),
+
+		OutCredits: append([]int32(nil), r.outCredits...),
+		OutHeldBy:  append([]int32(nil), r.outHeldBy...),
+
+		InArbLast: append([]int32(nil), r.inArbLast...),
+		SAArbLast: append([]int32(nil), r.saArbLast...),
+		VAArbLast: append([]int32(nil), r.vaArbLast...),
+
+		FlitsSwitched: r.FlitsSwitched,
+		Activity:      r.Activity,
+
+		Inputs:  make([]InputPortState, r.ports),
+		Outputs: make([]OutputPortState, r.ports),
+	}
+	for g := 0; g < n; g++ {
+		if r.inStage[g] == vcIdle && r.inCount[g] > 0 {
+			return nil, fmt.Errorf("router %d: capture mid-cycle: VC %d idle over %d buffered flits", r.ID, g, r.inCount[g])
+		}
+		st.Stage[g] = uint8(r.inStage[g])
+		st.OutPort[g] = r.inOutPort[g]
+		st.OutVC[g] = r.inOutVC[g]
+		if cn := int(r.candN[g]); cn > 0 {
+			st.Cand[g] = append([]routing.MaskCandidate(nil), r.cand[g*r.ports:g*r.ports+cn]...)
+		}
+		if cnt := int(r.inCount[g]); cnt > 0 {
+			buf := make([]BufSlot, cnt)
+			base, head := g*r.bufPerVC, int(r.inHead[g])
+			for i := 0; i < cnt; i++ {
+				slot := head + i
+				if slot >= r.bufPerVC {
+					slot -= r.bufPerVC
+				}
+				e := r.inBuf[base+slot]
+				buf[i] = BufSlot{Flit: encode(e.flit), ArrivedAt: e.arrivedAt}
+			}
+			st.Buf[g] = buf
+		}
+	}
+	for p := 0; p < r.ports; p++ {
+		in := r.Inputs[p]
+		st.Inputs[p] = InputPortState{
+			WindowResidency: in.windowResidency,
+			WindowDeparted:  int64(in.windowDeparted),
+			Writes:          in.Writes,
+		}
+		out := r.Outputs[p]
+		ops := OutputPortState{
+			Occupied:    int32(out.occupied),
+			OccIntegral: out.occIntegral,
+			LastOccAt:   out.lastOccAt,
+		}
+		if out.txCount > 0 {
+			ops.Tx = make([]TxSlot, out.txCount)
+			for i := 0; i < out.txCount; i++ {
+				e := out.tx[(out.txHead+i)&(len(out.tx)-1)]
+				ops.Tx[i] = TxSlot{Flit: encode(e.flit), ReadyAt: e.readyAt}
+			}
+		}
+		st.Outputs[p] = ops
+	}
+	return st, nil
+}
+
+// RestoreCheckpoint overwrites a freshly constructed router with a
+// normalized capture, rebuilding every derived structure (work-lists,
+// occupancy counters, tx masks). decode maps a flit handle back to a live
+// flit; it must fail rather than return nil for a handle it cannot
+// resolve. The router must have the same configuration the capture was
+// taken under.
+func (r *Router) RestoreCheckpoint(st *CheckpointState, decode func(int32) (*flow.Flit, error)) error {
+	n := r.nvc
+	if len(st.Stage) != n || len(st.OutPort) != n || len(st.OutVC) != n ||
+		len(st.Cand) != n || len(st.Buf) != n ||
+		len(st.OutCredits) != n || len(st.OutHeldBy) != n || len(st.VAArbLast) != n {
+		return fmt.Errorf("router %d: restore with per-VC arrays sized for a different router", r.ID)
+	}
+	if len(st.InArbLast) != r.ports || len(st.SAArbLast) != r.ports ||
+		len(st.Inputs) != r.ports || len(st.Outputs) != r.ports {
+		return fmt.Errorf("router %d: restore with per-port arrays sized for a different router", r.ID)
+	}
+	for g := 0; g < n; g++ {
+		if st.Stage[g] > uint8(vcActive) {
+			return fmt.Errorf("router %d: restore VC %d with unknown stage %d", r.ID, g, st.Stage[g])
+		}
+		if op := st.OutPort[g]; op < 0 || int(op) >= r.ports {
+			return fmt.Errorf("router %d: restore VC %d output port %d outside [0,%d)", r.ID, g, op, r.ports)
+		}
+		if ov := st.OutVC[g]; ov < 0 || int(ov) >= r.vcs {
+			return fmt.Errorf("router %d: restore VC %d output VC %d outside [0,%d)", r.ID, g, ov, r.vcs)
+		}
+		if len(st.Cand[g]) > r.ports {
+			return fmt.Errorf("router %d: restore VC %d with %d route candidates > %d ports", r.ID, g, len(st.Cand[g]), r.ports)
+		}
+		if len(st.Buf[g]) > r.bufPerVC {
+			return fmt.Errorf("router %d: restore VC %d with %d flits > capacity %d", r.ID, g, len(st.Buf[g]), r.bufPerVC)
+		}
+		if vcStage(st.Stage[g]) == vcIdle && len(st.Buf[g]) > 0 {
+			return fmt.Errorf("router %d: restore VC %d idle over %d buffered flits", r.ID, g, len(st.Buf[g]))
+		}
+		if c := st.OutCredits[g]; c < 0 || int(c) > r.bufPerVC {
+			return fmt.Errorf("router %d: restore output VC %d with %d credits outside [0,%d]", r.ID, g, c, r.bufPerVC)
+		}
+		if h := st.OutHeldBy[g]; h < -1 || int(h) >= n {
+			return fmt.Errorf("router %d: restore output VC %d held by %d outside [-1,%d)", r.ID, g, h, n)
+		}
+		if a := st.VAArbLast[g]; a < 0 || int(a) >= n {
+			return fmt.Errorf("router %d: restore VA arbiter cursor %d outside [0,%d)", r.ID, a, n)
+		}
+	}
+	for p := 0; p < r.ports; p++ {
+		if a := st.InArbLast[p]; a < 0 || int(a) >= r.vcs {
+			return fmt.Errorf("router %d: restore input arbiter cursor %d outside [0,%d)", r.ID, a, r.vcs)
+		}
+		if a := st.SAArbLast[p]; a < 0 || int(a) >= r.ports {
+			return fmt.Errorf("router %d: restore SA arbiter cursor %d outside [0,%d)", r.ID, a, r.ports)
+		}
+	}
+
+	// Per-VC state, normalized: buffers land at head 0.
+	r.bufFlits = 0
+	for g := 0; g < n; g++ {
+		r.inStage[g] = vcStage(st.Stage[g])
+		r.inOutPort[g] = st.OutPort[g]
+		r.inOutVC[g] = st.OutVC[g]
+		r.inHead[g] = 0
+		r.inCount[g] = int32(len(st.Buf[g]))
+		base := g * r.bufPerVC
+		for i, s := range st.Buf[g] {
+			f, err := decode(s.Flit)
+			if err != nil {
+				return fmt.Errorf("router %d: restore VC %d flit %d: %w", r.ID, g, i, err)
+			}
+			r.inBuf[base+i] = bufEntry{flit: f, arrivedAt: s.ArrivedAt}
+		}
+		cbase := g * r.ports
+		copy(r.cand[cbase:cbase+len(st.Cand[g])], st.Cand[g])
+		r.candN[g] = int32(len(st.Cand[g]))
+	}
+	copy(r.outCredits, st.OutCredits)
+	copy(r.outHeldBy, st.OutHeldBy)
+	copy(r.inArbLast, st.InArbLast)
+	copy(r.saArbLast, st.SAArbLast)
+	copy(r.vaArbLast, st.VAArbLast)
+	r.FlitsSwitched = st.FlitsSwitched
+	r.Activity = st.Activity
+
+	// Derived structures: work-lists, occupancy counters, port rings.
+	r.rcList = r.rcList[:0]
+	r.vaSet = r.vaSet[:0]
+	r.vaWaiting = 0
+	for g := 0; g < n; g++ {
+		r.vaPos[g] = -1
+	}
+	for p := range r.saMask {
+		r.saMask[p] = 0
+	}
+	r.saPorts = 0
+	for p := 0; p < r.ports; p++ {
+		r.inOcc[p] = 0
+	}
+	for g := 0; g < n; g++ {
+		cnt := int(r.inCount[g])
+		r.inOcc[g/r.vcs] += cnt
+		r.bufFlits += cnt
+		switch vcStage(st.Stage[g]) {
+		case vcWaitingVC:
+			r.vaWaiting++
+			r.vaAdd(g)
+		case vcActive:
+			if cnt > 0 {
+				r.saOn(g)
+			}
+		}
+	}
+
+	r.txLink, r.txLocal, r.txMask = 0, 0, 0
+	for p := 0; p < r.ports; p++ {
+		in := r.Inputs[p]
+		in.windowResidency = st.Inputs[p].WindowResidency
+		in.windowDeparted = int(st.Inputs[p].WindowDeparted)
+		in.Writes = st.Inputs[p].Writes
+
+		out := r.Outputs[p]
+		want := len(st.Outputs[p].Tx)
+		size := len(out.tx)
+		for size < want {
+			size *= 2
+		}
+		if size != len(out.tx) {
+			out.tx = make([]TxEntry, size)
+		} else {
+			for i := range out.tx {
+				out.tx[i] = TxEntry{}
+			}
+		}
+		out.txHead = 0
+		out.txCount = want
+		for i, s := range st.Outputs[p].Tx {
+			f, err := decode(s.Flit)
+			if err != nil {
+				return fmt.Errorf("router %d: restore port %d tx %d: %w", r.ID, p, i, err)
+			}
+			out.tx[i] = TxEntry{flit: f, readyAt: s.ReadyAt}
+		}
+		*out.txTotal += want
+		if want > 0 {
+			r.txMask |= out.portBit
+		}
+		out.occupied = int(st.Outputs[p].Occupied)
+		out.occIntegral = st.Outputs[p].OccIntegral
+		out.lastOccAt = st.Outputs[p].LastOccAt
+	}
+	return nil
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // Event is a closure scheduled to run at a fixed instant. Events scheduled
 // for the same instant run in the order they were scheduled (FIFO within a
 // timestamp), which keeps runs deterministic regardless of heap internals.
@@ -85,19 +87,90 @@ func (s *Scheduler) pop() Event {
 // Now reports the current simulation instant.
 func (s *Scheduler) Now() Time { return s.now }
 
-// At schedules fn to run at instant t. Scheduling in the past is a
+// At schedules fn to run at instant t and returns the event's sequence
+// number (the FIFO tie-breaker within an instant). Subsystems that need to
+// re-create their pending events after a checkpoint restore record the
+// returned value; everyone else ignores it. Scheduling in the past is a
 // programming error and panics, because silently reordering causality makes
 // simulation bugs unfindable.
-func (s *Scheduler) At(t Time, fn func()) {
+func (s *Scheduler) At(t Time, fn func()) int64 {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
 	s.nextID++
 	s.push(Event{At: t, Run: fn, seq: s.nextID})
+	return s.nextID
 }
 
-// After schedules fn to run d picoseconds from now.
-func (s *Scheduler) After(d Duration, fn func()) { s.At(s.now+d, fn) }
+// AtSeq schedules fn at instant t under an explicit, previously issued
+// sequence number. It exists solely for checkpoint restore: re-arming a
+// captured pending event with its original (At, seq) key reproduces the
+// exact dispatch order of the uninterrupted run. The sequence counter must
+// already cover seq (see SetSeqCounter); handing out a fresh number here
+// would desynchronize future At calls from the captured run.
+func (s *Scheduler) AtSeq(t Time, seq int64, fn func()) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	if seq <= 0 || seq > s.nextID {
+		panic("sim: AtSeq with a sequence number the counter never issued")
+	}
+	s.push(Event{At: t, Run: fn, seq: seq})
+}
+
+// After schedules fn to run d picoseconds from now and returns the event's
+// sequence number.
+func (s *Scheduler) After(d Duration, fn func()) int64 { return s.At(s.now+d, fn) }
+
+// SeqCounter reports the last sequence number issued by At/After.
+func (s *Scheduler) SeqCounter() int64 { return s.nextID }
+
+// SetSeqCounter restores the sequence counter on a fresh scheduler so a
+// forked run issues the same sequence numbers the uninterrupted run would.
+func (s *Scheduler) SetSeqCounter(v int64) {
+	if v < s.nextID {
+		panic("sim: sequence counter may not move backward")
+	}
+	s.nextID = v
+}
+
+// SetNow moves the clock of an idle scheduler (no queued events) to t, so a
+// checkpoint restore can place a fresh scheduler at the capture instant
+// before re-arming pending events via AtSeq.
+func (s *Scheduler) SetNow(t Time) {
+	if len(s.queue) != 0 {
+		panic("sim: SetNow with events pending")
+	}
+	if t < s.now {
+		panic("sim: clock may not move backward")
+	}
+	s.now = t
+}
+
+// PendingEvent identifies one queued event by its dispatch key. The closure
+// itself is deliberately absent: checkpointing re-creates closures from
+// their owning subsystem's state and uses these keys only to verify that
+// every queued event is accounted for.
+type PendingEvent struct {
+	At  Time
+	Seq int64
+}
+
+// PendingEvents reports the dispatch keys of all queued events in dispatch
+// order.
+func (s *Scheduler) PendingEvents() []PendingEvent {
+	out := make([]PendingEvent, len(s.queue))
+	for i, e := range s.queue {
+		out[i] = PendingEvent{At: e.At, Seq: e.seq}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
 
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/sim"
@@ -62,6 +63,36 @@ func (l *Latency) Quantile(q float64) float64 {
 		}
 	}
 	return l.s.Max()
+}
+
+// LatencyState is the complete serializable state of a Latency collector.
+type LatencyState struct {
+	Period sim.Duration
+	Stream StreamState
+	Bins   []int64
+}
+
+// Checkpoint captures the collector's state.
+func (l *Latency) Checkpoint() LatencyState {
+	bins := make([]int64, quantBins)
+	copy(bins, l.bins[:])
+	return LatencyState{Period: l.Period, Stream: l.s.Checkpoint(), Bins: bins}
+}
+
+// Restore overwrites the collector with a checkpoint.
+func (l *Latency) Restore(st LatencyState) error {
+	if st.Period <= 0 {
+		return fmt.Errorf("stats: latency with non-positive period %d", st.Period)
+	}
+	if len(st.Bins) != quantBins {
+		return fmt.Errorf("stats: latency with %d bins, want %d", len(st.Bins), quantBins)
+	}
+	if err := l.s.Restore(st.Stream); err != nil {
+		return err
+	}
+	l.Period = st.Period
+	copy(l.bins[:], st.Bins)
+	return nil
 }
 
 // N reports the packet count.

@@ -58,6 +58,32 @@ func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
 func (s *Stream) Min() float64 { return s.min }
 func (s *Stream) Max() float64 { return s.max }
 
+// StreamState is the complete serializable state of a Stream, exposed so a
+// simulation checkpoint can capture in-progress accumulators exactly. The
+// moments are raw float64 values; restoring them bit-for-bit reproduces the
+// stream's future outputs bit-for-bit.
+type StreamState struct {
+	N    int64
+	Mean float64
+	M2   float64
+	Min  float64
+	Max  float64
+}
+
+// Checkpoint captures the stream's state.
+func (s *Stream) Checkpoint() StreamState {
+	return StreamState{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// Restore overwrites the stream with a checkpoint.
+func (s *Stream) Restore(st StreamState) error {
+	if st.N < 0 {
+		return fmt.Errorf("stats: stream with negative count %d", st.N)
+	}
+	s.n, s.mean, s.m2, s.min, s.max = st.N, st.Mean, st.M2, st.Min, st.Max
+	return nil
+}
+
 // Histogram bins observations over a fixed range; out-of-range values clamp
 // into the end bins, so counts are never lost.
 type Histogram struct {

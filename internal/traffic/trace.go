@@ -63,29 +63,40 @@ func Capture(m Model, horizon sim.Time) *Trace {
 	return tr
 }
 
-// replay walks a trace's arrivals as a chained scheduler event: each firing
+// Replay walks a trace's arrivals as a chained scheduler event: each firing
 // injects every arrival sharing the current timestamp, then arms itself for
 // the next distinct timestamp. One closure is allocated per Launch; the
-// steady state allocates nothing.
-type replay struct {
-	tr     *Trace
-	sched  *sim.Scheduler
-	inject Injector
-	i      int
-	step   func()
+// steady state allocates nothing. The handle exposes the walk's progress so
+// a checkpoint can capture it: the chain's full state is the next arrival
+// index plus the pending event's dispatch key (the pending instant is
+// always the next arrival's timestamp).
+type Replay struct {
+	tr      *Trace
+	sched   *sim.Scheduler
+	inject  Injector
+	i       int
+	step    func()
+	pendSeq int64
 }
 
-// Launch implements Model. The horizon must equal the capture horizon:
-// models consult the horizon when arming their chains, so replaying a
-// trace against a different horizon would not match a live run.
-func (t *Trace) Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector) {
-	if horizon != t.horizon {
-		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+// Progress reports the index of the next arrival to inject and, when the
+// chain is still live (index < Len), the dispatch key of its pending
+// scheduler event.
+func (r *Replay) Progress() (index int, pendAt sim.Time, pendSeq int64) {
+	if r.i < len(r.tr.arrivals) {
+		return r.i, r.tr.arrivals[r.i].At, r.pendSeq
 	}
-	if len(t.arrivals) == 0 {
-		return
-	}
-	r := &replay{tr: t, sched: sched, inject: inject}
+	return r.i, 0, 0
+}
+
+// Done reports whether every arrival has been injected.
+func (r *Replay) Done() bool { return r.i >= len(r.tr.arrivals) }
+
+// Trace reports the trace the replay walks.
+func (r *Replay) Trace() *Trace { return r.tr }
+
+func (t *Trace) newReplay(sched *sim.Scheduler, inject Injector) *Replay {
+	r := &Replay{tr: t, sched: sched, inject: inject}
 	r.step = func() {
 		arr := r.tr.arrivals
 		i := r.i
@@ -97,10 +108,51 @@ func (t *Trace) Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector) 
 		}
 		r.i = i
 		if i < len(arr) {
-			r.sched.At(arr[i].At, r.step)
+			r.pendSeq = r.sched.At(arr[i].At, r.step)
 		}
 	}
-	sched.At(t.arrivals[0].At, r.step)
+	return r
+}
+
+// Launch implements Model. The horizon must equal the capture horizon:
+// models consult the horizon when arming their chains, so replaying a
+// trace against a different horizon would not match a live run.
+func (t *Trace) Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector) {
+	t.LaunchReplay(sched, horizon, inject)
+}
+
+// LaunchReplay is Launch returning the replay handle, so the network can
+// checkpoint the walk's progress. The handle is non-nil even for an empty
+// trace (the chain is born done).
+func (t *Trace) LaunchReplay(sched *sim.Scheduler, horizon sim.Time, inject Injector) *Replay {
+	if horizon != t.horizon {
+		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+	}
+	r := t.newReplay(sched, inject)
+	if len(t.arrivals) > 0 {
+		r.pendSeq = sched.At(t.arrivals[0].At, r.step)
+	}
+	return r
+}
+
+// Resume rebuilds a replay chain mid-walk from checkpointed progress:
+// arrivals before index are considered injected, and when index < Len the
+// chain's event is re-armed under the captured dispatch key pendSeq (via
+// sim.Scheduler.AtSeq) at the next arrival's timestamp.
+func (t *Trace) Resume(sched *sim.Scheduler, inject Injector, index int, pendSeq int64) (*Replay, error) {
+	if index < 0 || index > len(t.arrivals) {
+		return nil, fmt.Errorf("traffic: resume index %d outside [0,%d]", index, len(t.arrivals))
+	}
+	r := t.newReplay(sched, inject)
+	r.i = index
+	if index < len(t.arrivals) {
+		if pendSeq <= 0 {
+			return nil, fmt.Errorf("traffic: resume at live index %d without a pending event seq", index)
+		}
+		r.pendSeq = pendSeq
+		sched.AtSeq(t.arrivals[index].At, pendSeq, r.step)
+	}
+	return r, nil
 }
 
 // Trace cache: policy ablations sweep many (policy, threshold) variants

@@ -1,0 +1,65 @@
+package noc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/runcache"
+)
+
+// TestNewWarmedTwoLevelSharesWarmup pins netsim's warmup-reuse surface:
+// a simulated warmup, a captured-and-persisted warmup and a forked warmup
+// must all measure identically, and invocations differing only in policy
+// must fork the snapshot a different policy paid for.
+func TestNewWarmedTwoLevelSharesWarmup(t *testing.T) {
+	s, err := runcache.Open(t.TempDir(), runcache.Options{Fingerprint: "noc-warmed-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.SetDiskCache(s)
+	defer exp.SetDiskCache(nil)
+
+	cfg := DefaultConfig()
+	cfg.MeshSize = 4
+	w := TwoLevelWorkload{Rate: 0.3, Tasks: 100, TaskDuration: time.Millisecond}
+	const warm, meas = 2000, 2000
+
+	measureWarmed := func(c Config, reuse bool) Results {
+		t.Helper()
+		n, err := NewWarmedTwoLevel(c, w, warm, meas, reuse)
+		if err != nil {
+			t.Fatalf("NewWarmedTwoLevel: %v", err)
+		}
+		return n.Measure(meas)
+	}
+
+	straight := measureWarmed(cfg, false) // always simulates
+	cold := measureWarmed(cfg, true)      // simulates, captures, persists
+	afterCold := s.Stats()
+	if afterCold.Puts == 0 {
+		t.Fatal("cold reuse run persisted no snapshot")
+	}
+	forked := measureWarmed(cfg, true) // forks the persisted snapshot
+	if hits := s.Stats().Hits - afterCold.Hits; hits == 0 {
+		t.Fatal("second reuse run did not hit the persisted snapshot")
+	}
+	if straight != cold || cold != forked {
+		t.Errorf("warmup modes diverged:\nstraight: %+v\ncold:     %+v\nforked:   %+v",
+			straight, cold, forked)
+	}
+
+	// A different policy must share the same warmup snapshot and still
+	// match its own straight run.
+	alt := cfg
+	alt.Policy = PolicyNone
+	beforeAlt := s.Stats()
+	altForked := measureWarmed(alt, true)
+	if hits := s.Stats().Hits - beforeAlt.Hits; hits == 0 {
+		t.Error("policy variant did not fork the shared snapshot")
+	}
+	if altStraight := measureWarmed(alt, false); altForked != altStraight {
+		t.Errorf("policy variant fork diverged from its straight run:\nforked:   %+v\nstraight: %+v",
+			altForked, altStraight)
+	}
+}

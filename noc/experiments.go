@@ -22,6 +22,18 @@ type ExperimentOptions struct {
 	// skipping and quiescent fast-forward). Output is identical either
 	// way; only speed differs.
 	NoSkip bool
+	// NoCheckpoint disables warmup checkpointing: every simulation point
+	// pays for its own warmup instead of forking a shared warmed-up
+	// snapshot. Output is identical either way; only speed differs.
+	NoCheckpoint bool
+}
+
+// lower maps the public options onto the experiment harness's options.
+func (o ExperimentOptions) lower() exp.Options {
+	return exp.Options{
+		Quick: o.Quick, Full: o.Full, Seed: o.Seed,
+		Audit: o.Audit, NoSkip: o.NoSkip, NoCheckpoint: o.NoCheckpoint,
+	}
 }
 
 // Experiments lists the regenerable paper artifacts ("fig3" .. "fig17",
@@ -31,7 +43,7 @@ func Experiments() []string { return exp.List() }
 // RunExperiment regenerates one paper table or figure and prints its text
 // tables to w.
 func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
+	tabs, err := exp.Run(id, o.lower())
 	if err != nil {
 		return err
 	}
@@ -43,7 +55,7 @@ func RunExperiment(id string, o ExperimentOptions, w io.Writer) error {
 
 // RunExperimentCSV is RunExperiment with CSV output for plotting tools.
 func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
-	tabs, err := exp.Run(id, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
+	tabs, err := exp.Run(id, o.lower())
 	if err != nil {
 		return err
 	}
@@ -64,7 +76,7 @@ func SetExperimentParallelism(j int) { exp.SetParallelism(j) }
 // SetExperimentParallelism) and returns each one's rendered output in
 // input order. Points shared between experiments simulate once.
 func RunExperiments(ids []string, o ExperimentOptions, csv bool) ([]string, error) {
-	all, err := exp.RunAll(ids, exp.Options{Quick: o.Quick, Full: o.Full, Seed: o.Seed, Audit: o.Audit, NoSkip: o.NoSkip})
+	all, err := exp.RunAll(ids, o.lower())
 	if err != nil {
 		return nil, err
 	}
