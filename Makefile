@@ -7,11 +7,11 @@
 #   make short   # go test -short ./... — structural tests only, < 60 s
 #   make race    # full test suite under the race detector
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
-#   make bench   # end-to-end Step + run-cache + checkpoint-sweep +
-#                # scheduler + packet-alloc benchmarks; set BENCH_COUNT=10
-#                # for benchstat samples
-#   make bench-json # regenerate the committed BENCH_pr7.json trajectory
-#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr6.json
+#   make bench   # end-to-end Step + tiled-core + run-cache +
+#                # checkpoint-sweep + scheduler + packet-alloc benchmarks;
+#                # set BENCH_COUNT=10 for benchstat samples
+#   make bench-json # regenerate the committed BENCH_pr8.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr7.json
 #                # (the previous PR's committed baseline); fails on a >10%
 #                # ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
@@ -73,16 +73,17 @@ fuzz:
 # `make bench BENCH_COUNT=10 > new.txt`, `benchstat old.txt new.txt`.
 bench:
 	$(GO) test . -run xxx -bench 'BenchmarkStep(LowLoad|Saturation)' -benchmem -count=$(BENCH_COUNT)
+	$(GO) test . -run xxx -bench 'BenchmarkStepTiled' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test . -run xxx -bench 'BenchmarkRunAll(Cold|Warm)Cache' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test . -run xxx -bench 'BenchmarkSweep(Straight|Checkpointed)' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
 
 bench-diff:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -baseline BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -baseline BENCH_pr7.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

@@ -1,15 +1,15 @@
 // Command benchjson runs the repository's benchmark trajectory — the
 // end-to-end Step benchmarks at low load and saturation (with the
-// activity-driven core on and off), the cold- and warm-cache experiment
-// regenerations, the checkpointed and straight threshold sweeps, plus the
-// scheduler and packet-alloc micro-benchmarks — and writes the results as
-// machine-readable JSON.
+// activity-driven core on and off), the tiled-core Step points, the cold-
+// and warm-cache experiment regenerations, the checkpointed and straight
+// threshold sweeps, plus the scheduler and packet-alloc micro-benchmarks —
+// and writes the results as machine-readable JSON.
 //
-//	benchjson -out BENCH_pr7.json
-//	benchjson -baseline BENCH_pr6.json                     # run, then diff
-//	benchjson -in BENCH_pr7.json -baseline BENCH_pr6.json  # diff two files
+//	benchjson -out BENCH_pr8.json
+//	benchjson -baseline BENCH_pr7.json                     # run, then diff
+//	benchjson -in BENCH_pr8.json -baseline BENCH_pr7.json  # diff two files
 //
-// The committed BENCH_pr7.json pins this PR's measured curve so future
+// The committed BENCH_pr8.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
 //
 // With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
@@ -71,7 +71,11 @@ type summary struct {
 	// when policy variants fork one shared warmup instead of each paying
 	// for its own.
 	CheckpointSpeedupX float64 `json:"checkpoint_speedup_x,omitempty"`
-	Note               string  `json:"note,omitempty"`
+	// TileOverheadFrac is the fractional cost of the tile-parallel engine
+	// degenerated to a single tile over the single-scheduler saturation
+	// point — the acceptance bound for the tiled bookkeeping (<= 5%).
+	TileOverheadFrac float64 `json:"tile_overhead_frac,omitempty"`
+	Note             string  `json:"note,omitempty"`
 }
 
 // summaryNote qualifies the speedup figures: the -noskip baseline in this
@@ -85,7 +89,10 @@ const summaryNote = "low_load_speedup_x compares against -noskip in the same bin
 	"checkpoint_speedup_x compares the fig13 threshold sweep forking one shared warmup " +
 	"against every point warming up itself, also on the tiny budget (real budgets widen " +
 	"it, since the shared warmup amortizes over the same six settings at any length); " +
-	"diff against the committed BENCH_pr6.json (benchjson -baseline BENCH_pr6.json) for " +
+	"tile_overhead_frac compares the tiled engine at one tile against the " +
+	"single-scheduler saturation point (StepTiled2/4 meter barrier cost — on a " +
+	"single-CPU host they cannot win wall clock); " +
+	"diff against the committed BENCH_pr7.json (benchjson -baseline BENCH_pr7.json) for " +
 	"the cross-PR trajectory."
 
 // regressionThreshold is the fractional slowdown (ns/op) or allocation
@@ -113,6 +120,9 @@ func runAll() []result {
 		measure("StepLowLoadNoSkip", func(b *testing.B) { bench.Step(b, bench.LowLoadRate, true) }),
 		measure("StepSaturation", func(b *testing.B) { bench.Step(b, bench.SaturationRate, false) }),
 		measure("StepSaturationNoSkip", func(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }),
+		measure("StepTiled1", func(b *testing.B) { bench.StepTiled(b, 1) }),
+		measure("StepTiled2", func(b *testing.B) { bench.StepTiled(b, 2) }),
+		measure("StepTiled4", func(b *testing.B) { bench.StepTiled(b, 4) }),
 		measure("RunAllColdCache", func(b *testing.B) { bench.FiguresRunAll(b, false) }),
 		measure("RunAllWarmCache", func(b *testing.B) { bench.FiguresRunAll(b, true) }),
 		measure("SweepStraight", func(b *testing.B) { bench.Sweep(b, true) }),
@@ -200,7 +210,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_pr8.json", "output file (- for stdout)")
 	in := flag.String("in", "", "read results from this report instead of running benchmarks")
 	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
 	flag.Parse()
@@ -239,10 +249,14 @@ func main() {
 	if ckpt, straight := byName["SweepCheckpointed"], byName["SweepStraight"]; ckpt.NsPerOp > 0 {
 		rep.Summary.CheckpointSpeedupX = straight.NsPerOp / ckpt.NsPerOp
 	}
+	if tiled, flat := byName["StepTiled1"], byName["StepSaturation"]; flat.NsPerOp > 0 && tiled.NsPerOp > 0 {
+		rep.Summary.TileOverheadFrac = tiled.NsPerOp/flat.NsPerOp - 1
+	}
 	rep.Summary.Note = summaryNote
-	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx\n",
+	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx, tile overhead %+.1f%%\n",
 		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac,
-		rep.Summary.WarmCacheSpeedupX, rep.Summary.CheckpointSpeedupX)
+		rep.Summary.WarmCacheSpeedupX, rep.Summary.CheckpointSpeedupX,
+		100*rep.Summary.TileOverheadFrac)
 
 	if *in == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

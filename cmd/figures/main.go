@@ -45,6 +45,8 @@ func main() {
 		ckpt       = flag.Bool("checkpoint", true, "share one policy-frozen warmup per (seed, rate) across policy variants via checkpoint/fork (same output)")
 		noCkpt     = flag.Bool("no-checkpoint", false, "every simulation point pays for its own warmup (slower, same output)")
 		jobs       = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		tiles      = flag.Int("tiles", 0, "tile-parallel blocks per simulation (0/1 = single scheduler; output is byte-identical at every tile count)")
+		prefetch   = flag.Bool("prefetch", false, "report which run-cache keys the selected experiments would hit or miss; no simulations run")
 		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; recompute everything")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache counters to stderr on exit")
@@ -91,7 +93,7 @@ func main() {
 
 	o := noc.ExperimentOptions{
 		Quick: *quick, Full: *full, Seed: *seed, Audit: *auditFlag, NoSkip: *noskip,
-		NoCheckpoint: *noCkpt || !*ckpt,
+		NoCheckpoint: *noCkpt || !*ckpt, Tiles: *tiles,
 	}
 	var ids []string
 	switch {
@@ -102,6 +104,26 @@ func main() {
 	default:
 		ids = strings.Split(*expID, ",")
 	}
+
+	if *prefetch {
+		entries, err := noc.PrefetchExperiments(ids, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		hits := 0
+		for _, e := range entries {
+			status := "MISS"
+			if e.Hit {
+				status = "HIT "
+				hits++
+			}
+			fmt.Printf("%s %s\n", status, e.Key)
+		}
+		fmt.Printf("prefetch: %d keys, %d hit, %d miss\n", len(entries), hits, len(entries)-hits)
+		return
+	}
+
 	rendered, err := noc.RunExperiments(ids, o, *csv)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)

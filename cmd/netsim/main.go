@@ -46,6 +46,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		audit    = flag.Bool("audit", false, "verify runtime invariants (conservation, VC and DVS legality) during the run")
 		noskip   = flag.Bool("noskip", false, "disable the activity-driven core (tick every router every cycle); identical results, slower")
+		tiles    = flag.Int("tiles", 0, "tile-parallel blocks with conservative lookahead (0/1 = single scheduler); identical results at every count")
 		ckpt     = flag.Bool("checkpoint", true, "reuse a persisted policy-frozen warmup snapshot across runs (twolevel traffic, cache enabled); identical results")
 		noCkpt   = flag.Bool("no-checkpoint", false, "always simulate the warmup; identical results, slower across policy sweeps")
 		skipst   = flag.Bool("skipstats", false, "print activity-driven core statistics (fast-forwards, elided ticks, active-router histogram)")
@@ -105,6 +106,16 @@ func main() {
 	if set["noskip"] || *cfgPath == "" {
 		cfg.NoSkip = *noskip
 	}
+	if set["tiles"] || *cfgPath == "" {
+		cfg.Tiles = *tiles
+	}
+	// The tiled engine replays recorded traces only; live traffic models and
+	// event tracing need the single-scheduler core. Results are identical at
+	// every tile count, so degrading costs nothing but speed.
+	if cfg.Tiles > 1 && (*traffic != "twolevel" || *traceN > 0) {
+		fmt.Fprintln(os.Stderr, "netsim: -tiles requires the recorded two-level workload without -trace; running single-scheduler (identical results)")
+		cfg.Tiles = 0
+	}
 
 	if !*noCache {
 		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
@@ -124,7 +135,11 @@ func main() {
 		*cpuprofile == "" && *memprofile == ""
 	var cacheKey string
 	if cacheable {
-		cfgJSON, err := json.Marshal(cfg)
+		// Tile count never changes output bytes, so it is deliberately
+		// neutralized in the key: -tiles variants share one cache entry.
+		keyCfg := cfg
+		keyCfg.Tiles = 0
+		cfgJSON, err := json.Marshal(keyCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 			os.Exit(1)

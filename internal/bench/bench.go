@@ -37,8 +37,23 @@ const (
 // router ticks the activity-driven core skipped during the timed region;
 // zero when noskip pins the always-tick path).
 func Step(b *testing.B, rate float64, noskip bool) {
+	step(b, rate, noskip, 0)
+}
+
+// StepTiled is Step on the tile-parallel core: the same saturated platform
+// partitioned into the given number of tiles with conservative lookahead
+// barriers. tiles=1 measures the tiled engine's bookkeeping overhead over
+// the single-scheduler core (the acceptance bound); higher counts meter
+// barrier cost — on a single-CPU host they cannot win wall clock, the
+// committed numbers document that the machinery stays cheap.
+func StepTiled(b *testing.B, tiles int) {
+	step(b, SaturationRate, false, tiles)
+}
+
+func step(b *testing.B, rate float64, noskip bool, tiles int) {
 	cfg := network.NewConfig()
 	cfg.NoSkip = noskip
+	cfg.Tiles = tiles
 	n, err := network.New(cfg)
 	if err != nil {
 		b.Fatal(err)

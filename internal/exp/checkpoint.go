@@ -68,7 +68,10 @@ func (s spec) warmKey(o Options) string {
 // restore failure) land on the straight path.
 func simulate(s spec, o Options) network.Results {
 	warm, meas := o.budget()
-	if !o.NoCheckpoint {
+	// Tiled points always run straight: a tiled network refuses checkpoint
+	// capture and restore (see network.CaptureCheckpoint), and the straight
+	// path is byte-identical to the forked one anyway.
+	if !o.NoCheckpoint && o.Tiles <= 1 {
 		if ws := warmSnapshot(s, o); ws.snap != nil {
 			if r, ok := forkAndMeasure(s, o, ws, meas); ok {
 				return r
@@ -114,6 +117,11 @@ func warmSnapshot(s spec, o Options) *warmSnap {
 		}
 		warm, meas := o.budget()
 		cfg := s.config(o)
+		// Warmups are captured untiled regardless of o.Tiles: the warm key
+		// excludes the tile count, and a tiled network refuses capture.
+		// (simulate never reaches here for tiled points; this guards any
+		// future caller.)
+		cfg.Tiles = 0
 		horizon := sim.Time(warm+meas+1) * cfg.RouterPeriod
 		topo := topology.New(cfg.K, cfg.N, cfg.Torus)
 		tr := traffic.SharedTwoLevelTrace(s.twoLevelParams(o), topo, horizon)

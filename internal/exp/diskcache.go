@@ -92,6 +92,10 @@ func DiskCacheStats() runcache.Stats {
 // quarantined and recomputed, never trusted. With no store installed it is
 // exactly compute().
 func cached[T any](key string, compute func() T) T {
+	if prefetchIntercept(key) {
+		var zero T
+		return zero
+	}
 	s := diskStore.Load()
 	if s == nil {
 		return compute()

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -41,6 +42,14 @@ type Options struct {
 	// byte-identity); only speed differs. It is deliberately absent from
 	// cache keys so both modes share cached results.
 	NoCheckpoint bool
+	// Tiles partitions each simulation into that many tile-parallel blocks
+	// (network.Config.Tiles). Results are byte-identical at every tile
+	// count (the tile-equivalence suite pins this); only speed differs, so
+	// like NoCheckpoint it is deliberately absent from cache keys. Points
+	// whose workload exceeds the trace budget fall back to untiled (the
+	// tiled engine replays recorded traces only), and tiled points run the
+	// straight warmup path (a tiled network refuses checkpoint capture).
+	Tiles int
 }
 
 // tinyBudget, when set, shrinks cycle budgets far below -quick. It exists
@@ -236,16 +245,25 @@ var noTraceMemo bool
 // Oversized points fall back to the live model.
 func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.Model, sim.Time) {
 	cfg := s.config(o)
+	p := s.twoLevelParams(o)
+	horizon := sim.Time(horizonCycles) * cfg.RouterPeriod
+	// The workload decision comes before network construction: a tiled
+	// network replays recorded traces only, so a point that must run its
+	// model live (memoization disabled, or trace over budget) degrades to
+	// the untiled engine — same bytes, one scheduler.
+	var tr *traffic.Trace
+	if !noTraceMemo {
+		tr = traffic.SharedTwoLevelTrace(p, topology.New(cfg.K, cfg.N, cfg.Torus), horizon)
+	}
+	if tr == nil {
+		cfg.Tiles = 0
+	}
 	n, err := network.New(cfg)
 	if err != nil {
 		panic(err)
 	}
-	p := s.twoLevelParams(o)
-	horizon := sim.Time(horizonCycles) * cfg.RouterPeriod
-	if !noTraceMemo {
-		if tr := traffic.SharedTwoLevelTrace(p, n.Topo, horizon); tr != nil {
-			return n, tr, horizon
-		}
+	if tr != nil {
+		return n, tr, horizon
 	}
 	m, err := traffic.NewTwoLevel(p, n.Topo)
 	if err != nil {
@@ -283,6 +301,9 @@ func (s spec) config(o Options) network.Config {
 	cfg.Torus = s.torus
 	cfg.Audit.Enabled = o.Audit
 	cfg.NoSkip = o.NoSkip
+	if o.Tiles > 1 {
+		cfg.Tiles = o.Tiles
+	}
 	return cfg
 }
 
@@ -307,6 +328,9 @@ func (s spec) twoLevelParams(o Options) traffic.TwoLevelParams {
 // exactly the points it touches and nothing else. Audit and NoSkip are
 // proven not to change results, but they stay in the key to keep it a
 // plain serialization of the run spec rather than an equivalence claim.
+// Tiles is deliberately absent (like NoCheckpoint): tile counts are an
+// execution strategy, not part of the run spec, and keying them would
+// split the cache across identical results.
 func (s spec) cacheKey(o Options) string {
 	warm, meas := o.budget()
 	return fmt.Sprintf("v%d|warm=%d|meas=%d|audit=%t|noskip=%t|seed=%d|"+

@@ -58,6 +58,12 @@ func Parallelism() int {
 // withSimSlot runs fn while holding one worker slot. Every simulation body
 // in this package — cached or direct — funnels through it.
 func withSimSlot(fn func()) {
+	if ps := prefetchRec.Load(); ps != nil {
+		// A prefetch walk must never simulate; count the leak so the walk
+		// can fail loudly (and still run fn — a wrong result is worse than
+		// a slow one if a caller ignores the error).
+		ps.sims.Add(1)
+	}
 	pool.mu.Lock()
 	for {
 		limit := pool.limit

@@ -1,0 +1,749 @@
+// Intra-run tile parallelism: the mesh is partitioned into contiguous
+// blocks of routers ("tiles"), each advanced by its own scheduler, with a
+// conservative lookahead barrier every W cycles, where W is the minimum
+// link latency in router cycles (ceil of the top-level link period over the
+// router period — 1 with the paper's table, so barriers are per cycle).
+//
+// Why the output is byte-identical to the sequential core:
+//
+//   - Isolation inside a window. Every cross-tile interaction is a flit
+//     arrival or a credit return, and both are delayed by at least one link
+//     serialization period, i.e. at least W router cycles. A message
+//     generated at cycle t >= w0 is therefore due at cycle t+W >= w0+W — at
+//     or after the barrier — so no event inside a window [w0, w0+W) can
+//     observe another tile's activity in the same window. Tiles advance
+//     their cycles independently and meet only at barriers.
+//   - Canonical cross-tile delivery. Outboxed messages drain at the
+//     barrier in (source tile, generation order) into the destination
+//     tile's delay ring, bucketed by due cycle. Within one ring bucket the
+//     sequential core's order is immaterial: a link serializer spaces
+//     consecutive sends at least one period apart, so at most one flit
+//     lands per input port per cycle (arrivals to distinct ports commute),
+//     and credit returns are counter increments that commute per (port,
+//     VC); drainRing applies all arrivals before all credits in both
+//     engines.
+//   - Deterministic accumulator merge. The only order-sensitive global
+//     accumulator is the latency stream (Welford moments). Tiles buffer
+//     deliveries and the barrier replays them in (cycle, tile) order —
+//     which equals the sequential engine's (cycle, ascending node) order,
+//     because tiles own ascending contiguous node ranges and each tile's
+//     eject phase walks its routers in ascending order. Integer counters
+//     (injected, delivered, InFlight, skip stats) merge additively.
+//   - Synchronized global machinery. DVS policy windows, probes and audit
+//     scans run at barriers on the single coordinating goroutine: windows
+//     are clamped so a barrier lands exactly on every policy/probe/scan
+//     boundary, with the same cycle number and simulation instant as the
+//     sequential Step. Links schedule their transition events on their
+//     owning tile's scheduler, so completions fire at identical instants.
+//   - Packet identity. Each tile draws packet IDs from a disjoint space
+//     (tile index in the high bits). IDs differ from the sequential run's
+//     but are semantically inert: allocation arbiters are positional, and
+//     no result, statistic or golden artifact carries an ID.
+//
+// Audited runs execute tiles sequentially on the coordinating goroutine
+// (the audit checker's ledgers are single-threaded maps); results are
+// identical either way, so the audit still proves the tiled datapath.
+// Checkpoint capture refuses tiled networks (see CaptureCheckpoint): the
+// experiment harness runs tiled points on the straight warmup path, which
+// PR 7's conformance suite proved byte-identical to the forked one.
+package network
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/audit"
+	"repro/internal/flow"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// tileMsg is one cross-tile message parked in an outbox until the next
+// barrier: a flit arrival when in is non-nil, otherwise a credit return.
+type tileMsg struct {
+	at   sim.Time
+	node int // arrival destination router; -1 for credits
+	in   *router.InputPort
+	flit *flow.Flit
+	out  *router.OutputPort
+	vc   int
+}
+
+// tileDelivery is one delivered packet buffered for the barrier's ordered
+// replay into the global latency/throughput accumulators.
+type tileDelivery struct {
+	cycle int64
+	p     *flow.Packet
+}
+
+// tileState is one tile: a contiguous block of routers [lo, hi) with its
+// own scheduler, delay ring, packet pool and activity masks — the per-tile
+// mirror of the Network fields the sequential engine uses. Masks are
+// full-length word slices (only bits in [lo, hi) are ever set) so the
+// tick/transmit/eject loops keep the sequential engine's shape.
+type tileState struct {
+	n      *Network
+	id     int
+	lo, hi int
+	idBase int64 // packet IDs are idBase + per-tile sequence
+
+	sched sim.Scheduler
+	cycle int64
+
+	ring      [ringSize]ringBucket
+	ringCount int
+	slow      []*slowEntry
+	pool      flow.Pool
+	nextPkt   int64
+	replay    *traffic.Replay
+
+	activeMask  []uint64
+	activeCount int
+	injMask     []uint64
+	injCount    int
+
+	// outbox[d] holds messages bound for tile d, in generation order.
+	outbox [][]tileMsg
+	// deliveries buffers delivered packets (nondecreasing cycle order) for
+	// the barrier replay; delIdx is the replay cursor.
+	deliveries []tileDelivery
+	delIdx     int
+	// ticked[i] is the number of routers ticked in the window's i-th
+	// cycle, merged into the global skip stats at the barrier.
+	ticked []int
+
+	injected      int64
+	inFlightDelta int64
+}
+
+// initTiles builds the tile partition: count contiguous blocks of
+// ceil(nodes/count) routers, and the lookahead window from the minimum
+// link latency.
+func (n *Network) initTiles(count int) {
+	nodes := n.Topo.Nodes()
+	words := (nodes + 63) / 64
+	block := (nodes + count - 1) / count
+	n.tileOf = make([]int, nodes)
+	for i := 0; i < count; i++ {
+		lo := i * block
+		hi := lo + block
+		if lo > nodes {
+			lo = nodes
+		}
+		if hi > nodes {
+			hi = nodes
+		}
+		t := &tileState{
+			n: n, id: i, lo: lo, hi: hi,
+			idBase:     int64(i) << 48,
+			activeMask: make([]uint64, words),
+			injMask:    make([]uint64, words),
+			outbox:     make([][]tileMsg, count),
+		}
+		for nd := lo; nd < hi; nd++ {
+			n.tileOf[nd] = i
+		}
+		if n.Cfg.NoSkip {
+			for nd := lo; nd < hi; nd++ {
+				t.markActive(nd)
+				t.markInject(nd)
+			}
+		}
+		n.tiles = append(n.tiles, t)
+	}
+	// The minimum cross-tile delay is one top-level link period (the
+	// fastest serialization and the fastest credit return); the window is
+	// its span in router cycles, at least one.
+	p := n.Cfg.RouterPeriod
+	n.lookahead = int64((n.Table.Period[n.Table.Top()] + p - 1) / p)
+	if n.lookahead < 1 {
+		n.lookahead = 1
+	}
+}
+
+// schedFor reports the scheduler a channel leaving node must use: the
+// owning tile's when tiled, the global one otherwise.
+func (n *Network) schedFor(node int) *sim.Scheduler {
+	if n.tiles != nil {
+		return &n.tiles[n.tileOf[node]].sched
+	}
+	return n.Sched
+}
+
+// Tiled reports whether this network runs the tile-parallel engine.
+func (n *Network) Tiled() bool { return n.tiles != nil }
+
+// owns reports whether the tile owns a node (the trace-filter predicate).
+func (t *tileState) owns(node int) bool { return node >= t.lo && node < t.hi }
+
+func (t *tileState) markActive(node int) {
+	w, b := node>>6, uint64(1)<<(node&63)
+	if t.activeMask[w]&b == 0 {
+		t.activeMask[w] |= b
+		t.activeCount++
+	}
+}
+
+func (t *tileState) markInject(node int) {
+	w, b := node>>6, uint64(1)<<(node&63)
+	if t.injMask[w]&b == 0 {
+		t.injMask[w] |= b
+		t.injCount++
+	}
+}
+
+// inject is the tile's traffic.Injector: Network.Inject restricted to the
+// tile's sources, drawing IDs from the tile's disjoint space and deferring
+// the global counters to the barrier merge.
+func (t *tileState) inject(src, dst int, now sim.Time, task int64) {
+	if src == dst {
+		return
+	}
+	n := t.n
+	t.nextPkt++
+	p := t.pool.NewPacket(t.idBase+t.nextPkt, src, dst, now, task)
+	n.injectors[src].push(p)
+	t.markInject(src)
+	t.injected++
+	t.inFlightDelta++
+	if n.aud != nil {
+		n.aud.OnInject(p, t.cycle)
+	}
+}
+
+// slowDrop removes one tracked scheduler-fallback message by identity.
+func (t *tileState) slowDrop(e *slowEntry) {
+	for i := range t.slow {
+		if t.slow[i] == e {
+			t.slow = append(t.slow[:i], t.slow[i+1:]...)
+			return
+		}
+	}
+}
+
+// enqueueArrival mirrors Network.enqueueArrival on the tile's ring and
+// scheduler. Only intra-tile messages come here; cross-tile ones go
+// through the outbox.
+func (t *tileState) enqueueArrival(node int, in *router.InputPort, f *flow.Flit, at sim.Time) {
+	due := t.n.dueCycle(at)
+	if due-t.cycle >= ringSize {
+		e := &slowEntry{at: at, node: node, in: in, flit: f}
+		t.slow = append(t.slow, e)
+		e.seq = t.sched.At(at, func() {
+			t.slowDrop(e)
+			t.markActive(e.node)
+			e.in.Arrive(e.flit, t.sched.Now())
+		})
+		return
+	}
+	b := &t.ring[due%ringSize]
+	b.arrivals = append(b.arrivals, arrivalMsg{in: in, flit: f, node: node})
+	t.ringCount++
+}
+
+// enqueueCredit mirrors Network.enqueueCredit on the tile's ring.
+func (t *tileState) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
+	due := t.n.dueCycle(at)
+	if due-t.cycle >= ringSize {
+		e := &slowEntry{at: at, node: -1, out: out, vc: vc}
+		t.slow = append(t.slow, e)
+		e.seq = t.sched.At(at, func() {
+			t.slowDrop(e)
+			e.out.ReturnCredit(e.vc, t.sched.Now())
+		})
+		return
+	}
+	b := &t.ring[due%ringSize]
+	b.credits = append(b.credits, creditMsg{out: out, vc: vc})
+	t.ringCount++
+}
+
+// runTo advances the tile to cycle e, one step per cycle. This is the loop
+// each tile worker runs between barriers; it touches only tile-owned state
+// (its routers, links, injectors, ring, pool) plus immutable shared data.
+func (t *tileState) runTo(e int64) {
+	for t.cycle < e {
+		t.step()
+	}
+}
+
+// step is Network.Step restricted to one tile: deliver the tile's pending
+// events, inject at the tile's sources, tick its active routers, transmit
+// and eject — identical phase order, identical instants. Policy windows,
+// probes and audit scans are barrier work and deliberately absent here.
+func (t *tileState) step() {
+	n := t.n
+	now := sim.Time(t.cycle) * n.Cfg.RouterPeriod
+	t.sched.RunUntil(now)
+	t.drainRing(now)
+	t.injectFlits(now)
+	ticked := 0
+	for w, word := range t.activeMask {
+		base := w << 6
+		for word != 0 {
+			r := n.Routers[base+bits.TrailingZeros64(word)]
+			word &= word - 1
+			r.Tick(now, n.Cfg.RouterPeriod)
+			ticked++
+		}
+	}
+	t.transmit(now)
+	t.eject(now)
+	if !n.noskip {
+		for w, word := range t.activeMask {
+			base := w << 6
+			for word != 0 {
+				i := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !n.Routers[i].Busy() {
+					t.activeMask[w] &^= 1 << (i & 63)
+					t.activeCount--
+				}
+			}
+		}
+	}
+	t.ticked = append(t.ticked, ticked)
+	t.cycle++
+}
+
+// drainRing delivers the tile's messages due this cycle.
+func (t *tileState) drainRing(now sim.Time) {
+	b := &t.ring[t.cycle%ringSize]
+	t.ringCount -= len(b.arrivals) + len(b.credits)
+	for i, a := range b.arrivals {
+		t.markActive(a.node)
+		a.in.Arrive(a.flit, now)
+		b.arrivals[i] = arrivalMsg{}
+	}
+	b.arrivals = b.arrivals[:0]
+	for i, c := range b.credits {
+		c.out.ReturnCredit(c.vc, now)
+		b.credits[i] = creditMsg{}
+	}
+	b.credits = b.credits[:0]
+}
+
+// injectFlits mirrors Network.injectFlits over the tile's injector mask.
+func (t *tileState) injectFlits(now sim.Time) {
+	n := t.n
+	for w, word := range t.injMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			inj := n.injectors[node]
+			t.injectOne(node, inj, now)
+			if !n.noskip && len(inj.current) == 0 && inj.qLen == 0 {
+				t.injMask[w] &^= 1 << (node & 63)
+				t.injCount--
+			}
+		}
+	}
+}
+
+// injectOne mirrors Network.injectOne with the tile's pool and cycle.
+func (t *tileState) injectOne(node int, inj *injector, now sim.Time) {
+	n := t.n
+	in := n.Routers[node].Inputs[topology.LocalPort]
+	if len(inj.current) == 0 {
+		if inj.qLen == 0 {
+			return
+		}
+		best, bestFree := -1, 0
+		for vc := 0; vc < n.Cfg.Router.VCs; vc++ {
+			if f := in.Free(vc); f > bestFree {
+				best, bestFree = vc, f
+			}
+		}
+		if best < 0 || bestFree < 1 {
+			return
+		}
+		p := inj.pop()
+		p.Injected = now
+		inj.current = t.pool.Flits(p)
+		inj.vc = best
+		if n.aud != nil {
+			n.aud.OnSourceDequeue(p, t.cycle)
+		}
+	}
+	if in.Free(inj.vc) < 1 {
+		return
+	}
+	f := inj.current[0]
+	inj.current = inj.current[1:]
+	f.VC = inj.vc
+	t.markActive(node)
+	in.Arrive(f, now)
+}
+
+// transmit mirrors Network.transmit over the tile's active mask.
+func (t *tileState) transmit(now sim.Time) {
+	for w, word := range t.activeMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			t.transmitNode(node, now)
+		}
+	}
+}
+
+// transmitNode mirrors Network.transmitNode; arrivals bound for another
+// tile are parked in the outbox until the barrier.
+func (t *tileState) transmitNode(node int, now sim.Time) {
+	n := t.n
+	r := n.Routers[node]
+	for mask := r.TxPortMask() &^ 1; mask != 0; mask &= mask - 1 {
+		port := bits.TrailingZeros32(mask)
+		out := r.Outputs[port]
+		l := out.Link
+		if l == nil {
+			continue
+		}
+		front := out.TxFront()
+		if front.ReadyAt() > now || !l.CanSend(now) {
+			continue
+		}
+		out.PopTx()
+		f := front.Flit()
+		if n.aud != nil {
+			n.aud.OnLinkSend(node, port, l, f, now, t.cycle)
+		}
+		d := l.Send(now)
+
+		dim, dir := n.Topo.DimDir(port)
+		dst, ok := n.Topo.Neighbor(node, dim, dir)
+		if !ok {
+			panic("network: flit routed off the mesh edge")
+		}
+		if f.Kind == flow.Head {
+			cx := n.Topo.Coord(node, dim)
+			wrap := n.Topo.Torus() &&
+				((dir == topology.Plus && cx == n.Topo.K()-1) ||
+					(dir == topology.Minus && cx == 0))
+			st := routing.State{LastDim: f.Packet.LastDim, Wrapped: f.Packet.Wrapped}
+			st = st.Advance(dim, wrap)
+			f.Packet.LastDim, f.Packet.Wrapped = st.LastDim, st.Wrapped
+		}
+		inPort := n.Topo.PortFor(dim, 1-dir)
+		in := n.Routers[dst].Inputs[inPort]
+		if dt := n.tileOf[dst]; dt != t.id {
+			t.outbox[dt] = append(t.outbox[dt], tileMsg{at: now + d, node: dst, in: in, flit: f})
+		} else {
+			t.enqueueArrival(dst, in, f, now+d)
+		}
+	}
+}
+
+// eject mirrors Network.eject over the tile's active mask; tails are
+// buffered for the barrier's ordered replay instead of touching the global
+// accumulators.
+func (t *tileState) eject(now sim.Time) {
+	n := t.n
+	for w, word := range t.activeMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := n.Routers[node]
+			if r.LocalTxQueued() == 0 {
+				continue
+			}
+			out := r.Outputs[topology.LocalPort]
+			for out.QueuedTx() > 0 && out.TxFront().ReadyAt() <= now {
+				e := out.PopTx()
+				f := e.Flit()
+				if n.aud != nil {
+					n.aud.OnEject(f, r.ID, t.cycle)
+				}
+				if f.Kind != flow.Tail {
+					continue
+				}
+				p := f.Packet
+				p.Delivered = now
+				if n.aud != nil {
+					n.aud.OnDeliver(p, t.cycle)
+				}
+				t.deliveries = append(t.deliveries, tileDelivery{cycle: t.cycle, p: p})
+			}
+		}
+	}
+}
+
+// walkTransit shows the audit the tile's in-flight messages.
+func (t *tileState) walkTransit(v audit.TransitVisitor) {
+	for i := range t.ring {
+		b := &t.ring[i]
+		for _, a := range b.arrivals {
+			v.Flit(a.in, a.flit)
+		}
+		for _, cm := range b.credits {
+			v.Credit(cm.out, cm.vc)
+		}
+	}
+	for _, s := range t.slow {
+		if s.in != nil {
+			v.Flit(s.in, s.flit)
+		} else {
+			v.Credit(s.out, s.vc)
+		}
+	}
+	for _, box := range t.outbox {
+		for _, m := range box {
+			if m.in != nil {
+				v.Flit(m.in, m.flit)
+			} else {
+				v.Credit(m.out, m.vc)
+			}
+		}
+	}
+}
+
+// runTiled is Run for the tiled engine: advance in lookahead windows
+// separated by barriers, fast-forwarding fully quiescent stretches exactly
+// like the sequential core. Unaudited windows run on one persistent worker
+// goroutine per tile (spawned per Run, joined at its end); audited windows
+// run inline, sequentially, because the audit checker is single-threaded.
+func (n *Network) runTiled(cycles int64) {
+	if n.Trace != nil {
+		// Tile steps do not log packet events (the buffer is unsynchronized
+		// and event order would depend on tile interleaving); refuse rather
+		// than silently drop them.
+		panic("network: event tracing requires an untiled network")
+	}
+	target := n.cycle + cycles
+	var work []chan int64
+	var done chan struct{}
+	if n.aud == nil {
+		done = make(chan struct{}, len(n.tiles))
+		for _, t := range n.tiles {
+			ch := make(chan int64)
+			work = append(work, ch)
+			go func(t *tileState, ch chan int64) {
+				for e := range ch {
+					t.runTo(e)
+					done <- struct{}{}
+				}
+			}(t, ch)
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
+	for n.cycle < target {
+		if !n.noskip && n.tilesQuiescent() {
+			if c := n.nextInterestingCycleTiled(target); c > n.cycle {
+				n.fastForwardTiled(c)
+				continue
+			}
+		}
+		e := n.tileWindowEnd(target)
+		if work == nil {
+			for _, t := range n.tiles {
+				t.runTo(e)
+			}
+		} else {
+			for _, ch := range work {
+				ch <- e
+			}
+			for range work {
+				<-done
+			}
+		}
+		n.tileBarrier(e)
+	}
+}
+
+// tilesQuiescent reports whether no tile holds work: mirrors the
+// sequential quiescence test per tile (outboxes and delivery buffers are
+// empty between barriers by construction).
+func (n *Network) tilesQuiescent() bool {
+	for _, t := range n.tiles {
+		if t.activeCount != 0 || t.injCount != 0 || t.ringCount != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nextInterestingCycleTiled is nextInterestingCycle with the earliest
+// pending event taken across the per-tile schedulers.
+func (n *Network) nextInterestingCycleTiled(target int64) int64 {
+	next := target
+	for _, t := range n.tiles {
+		if t.sched.Pending() > 0 {
+			if c := n.dueCycle(t.sched.PeekTime()); c < next {
+				next = c
+			}
+		}
+	}
+	if n.Cfg.Policy != PolicyNone && !n.dvsHold {
+		if c := boundaryFrom(n.cycle, int64(n.Cfg.DVS.H)); c < next {
+			next = c
+		}
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 {
+		if c := boundaryFrom(n.cycle, n.ProbeEvery); c < next {
+			next = c
+		}
+	}
+	if n.aud != nil {
+		if c := boundaryFrom(n.cycle, n.aud.ScanEvery()); c < next {
+			next = c
+		}
+	}
+	if next < n.cycle {
+		next = n.cycle
+	}
+	return next
+}
+
+// fastForwardTiled jumps every tile (and the global clock) to cycle c; no
+// tile scheduler may hold an event inside the jumped span.
+func (n *Network) fastForwardTiled(c int64) {
+	skipped := c - n.cycle
+	n.skips.CyclesFastForwarded += skipped
+	n.skips.FastForwards++
+	n.skips.RouterTicksElided += skipped * int64(len(n.Routers))
+	n.cycle = c
+	edge := sim.Time(c-1) * n.Cfg.RouterPeriod
+	for _, t := range n.tiles {
+		t.cycle = c
+		if ran := t.sched.RunUntil(edge); ran != 0 {
+			panic(fmt.Sprintf("network: tiled fast-forward to cycle %d ran %d events — jump bound broken", c, ran))
+		}
+	}
+	if ran := n.Sched.RunUntil(edge); ran != 0 {
+		panic("network: events on the global scheduler of a tiled run")
+	}
+}
+
+// tileWindowEnd reports the next barrier cycle: at most lookahead ahead,
+// clamped so every policy-window close, probe tick and audit scan falls on
+// a barrier (mirroring the boundary set nextInterestingCycle respects).
+func (n *Network) tileWindowEnd(target int64) int64 {
+	e := n.cycle + n.lookahead
+	if e > target {
+		e = target
+	}
+	clamp := func(every int64) {
+		if b := boundaryFrom(n.cycle, every) + 1; b < e {
+			e = b
+		}
+	}
+	if n.Cfg.Policy != PolicyNone && !n.dvsHold {
+		clamp(int64(n.Cfg.DVS.H))
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 {
+		clamp(n.ProbeEvery)
+	}
+	if n.aud != nil {
+		clamp(n.aud.ScanEvery())
+	}
+	return e
+}
+
+// tileBarrier closes the window ending at cycle e: drain cross-tile
+// outboxes in canonical order, replay buffered deliveries into the global
+// accumulators in (cycle, tile) order, merge counters, then run the
+// cycle-aligned global machinery (policy windows, probes, audit scans) at
+// exactly the instants the sequential Step would.
+func (n *Network) tileBarrier(e int64) {
+	w0 := n.cycle
+	n.cycle = e
+	edge := sim.Time(e-1) * n.Cfg.RouterPeriod
+	if ran := n.Sched.RunUntil(edge); ran != 0 {
+		panic("network: events on the global scheduler of a tiled run")
+	}
+
+	// Cross-tile messages, in (source tile, generation order), bucketed
+	// into the destination tile's ring by due cycle. The lookahead bound
+	// guarantees due >= e; the ring span bounds it above (cross-tile
+	// delays are at most one bottom-level link period).
+	for _, src := range n.tiles {
+		for dt, box := range src.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			dest := n.tiles[dt]
+			for i, m := range box {
+				due := n.dueCycle(m.at)
+				if due < e || due-e >= ringSize {
+					panic(fmt.Sprintf("network: cross-tile message due cycle %d outside window end %d", due, e))
+				}
+				b := &dest.ring[due%ringSize]
+				if m.node >= 0 {
+					b.arrivals = append(b.arrivals, arrivalMsg{in: m.in, flit: m.flit, node: m.node})
+				} else {
+					b.credits = append(b.credits, creditMsg{out: m.out, vc: m.vc})
+				}
+				dest.ringCount++
+				box[i] = tileMsg{}
+			}
+			src.outbox[dt] = box[:0]
+		}
+	}
+
+	// Delivery replay: (cycle, tile) order equals the sequential engine's
+	// (cycle, ascending node) eject order, so the order-sensitive latency
+	// stream accumulates bit-identically.
+	for c := w0; c < e; c++ {
+		for _, t := range n.tiles {
+			for t.delIdx < len(t.deliveries) && t.deliveries[t.delIdx].cycle == c {
+				p := t.deliveries[t.delIdx].p
+				t.delIdx++
+				n.InFlight--
+				if p.Created >= n.measStart {
+					n.Lat.Add(p.Latency())
+					n.delivered++
+				}
+				if n.OnDeliver != nil {
+					n.OnDeliver(p)
+				} else {
+					t.pool.Recycle(p)
+				}
+			}
+		}
+	}
+	nodes := len(n.Routers)
+	for _, t := range n.tiles {
+		if t.delIdx != len(t.deliveries) {
+			panic("network: tiled delivery recorded outside its window")
+		}
+		for i := range t.deliveries {
+			t.deliveries[i] = tileDelivery{}
+		}
+		t.deliveries, t.delIdx = t.deliveries[:0], 0
+		n.injected += t.injected
+		n.InFlight += t.inFlightDelta
+		t.injected, t.inFlightDelta = 0, 0
+	}
+	for i := 0; i < int(e-w0); i++ {
+		total := 0
+		for _, t := range n.tiles {
+			total += t.ticked[i]
+		}
+		n.skips.CyclesExecuted++
+		n.skips.RouterTicks += int64(total)
+		n.skips.RouterTicksElided += int64(nodes - total)
+		n.skips.ActiveHist[total]++
+	}
+	for _, t := range n.tiles {
+		t.ticked = t.ticked[:0]
+	}
+
+	if !n.dvsHold && e%int64(n.Cfg.DVS.H) == 0 {
+		n.runPolicies(edge)
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 && e%n.ProbeEvery == 0 {
+		n.Probe(edge)
+	}
+	if n.aud != nil && e%n.aud.ScanEvery() == 0 {
+		n.aud.EndCycle(e, edge)
+	}
+}

@@ -1,0 +1,243 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// captureWorkload records the two-level workload the skip-equivalence suite
+// uses (seed 7) so tiled and sequential runs replay the identical schedule.
+func captureWorkload(t *testing.T, rate float64, horizon sim.Time) *traffic.Trace {
+	t.Helper()
+	cfg := NewConfig()
+	p := traffic.NewTwoLevelParams(rate)
+	p.Seed = 7
+	m, err := traffic.NewTwoLevel(p, topology.New(cfg.K, cfg.N, cfg.Torus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traffic.Capture(m, horizon)
+}
+
+// runTiledForEquivalence executes one warmup+measurement run at the given
+// tile count and returns the same observables runForEquivalence does.
+func runTiledForEquivalence(t *testing.T, tr *traffic.Trace, tiles int, audited bool, cycles int64) (snapshot string, state string) {
+	t.Helper()
+	cfg := NewConfig()
+	cfg.Policy = PolicyHistory
+	cfg.Tiles = tiles
+	cfg.Audit.Enabled = audited
+	n := mustNew(t, cfg)
+	n.Launch(tr, tr.Horizon())
+	n.Run(cycles)
+	n.BeginMeasurement()
+	n.Run(cycles)
+	if audited {
+		if v := n.Auditor().Stats().Violations; v != 0 {
+			t.Fatalf("tiles=%d: %d audit violations", tiles, v)
+		}
+	}
+	snapshot = fmt.Sprintf("%+v", n.Snapshot())
+	levels := ""
+	var energy float64
+	for _, l := range n.Links() {
+		levels += fmt.Sprintf("%d,", l.Level())
+		energy += l.EnergyJ(n.Now())
+	}
+	state = fmt.Sprintf("cycle=%d now=%d inflight=%d injected=%d energy=%.18g levels=%s",
+		n.Cycle(), n.Now(), n.InFlight, n.injected, energy, levels)
+	return snapshot, state
+}
+
+// TestTileEquivalence proves the tile-parallel engine is byte-identical to
+// the single-scheduler core across the load range the paper sweeps, at
+// every tile count. Tiles=1 takes the sequential path by construction, so
+// it doubles as the reference; 2 and 4 exercise cross-tile outboxes, the
+// barrier drain and the ordered delivery replay.
+func TestTileEquivalence(t *testing.T) {
+	cycles := int64(20_000)
+	if testing.Short() {
+		cycles = 4_000
+	}
+	cfg := NewConfig()
+	horizon := sim.Time(2*cycles+1) * cfg.RouterPeriod
+	for _, rate := range []float64{0.05, 0.3, 4.0} {
+		rate := rate
+		t.Run(fmt.Sprintf("rate=%.2f", rate), func(t *testing.T) {
+			tr := captureWorkload(t, rate, horizon)
+			refSnap, refState := runTiledForEquivalence(t, tr, 1, false, cycles)
+			for _, tiles := range []int{2, 4} {
+				snap, state := runTiledForEquivalence(t, tr, tiles, false, cycles)
+				if snap != refSnap {
+					t.Errorf("tiles=%d Results diverge:\n tiled: %s\n ref:   %s", tiles, snap, refSnap)
+				}
+				if state != refState {
+					t.Errorf("tiles=%d accounting diverges:\n tiled: %s\n ref:   %s", tiles, state, refState)
+				}
+			}
+		})
+	}
+}
+
+// TestTileEquivalenceAudited reruns the matrix under the runtime invariant
+// checker: audited tiled runs execute tiles inline (the checker is
+// single-threaded), and the audit's conservation scans at barriers must see
+// exactly the sequential run's state. Shorter than the unaudited matrix —
+// the audit's per-event ledgers dominate runtime at saturation.
+func TestTileEquivalenceAudited(t *testing.T) {
+	cycles := int64(8_000)
+	if testing.Short() {
+		cycles = 2_000
+	}
+	cfg := NewConfig()
+	horizon := sim.Time(2*cycles+1) * cfg.RouterPeriod
+	for _, rate := range []float64{0.05, 0.3, 4.0} {
+		rate := rate
+		t.Run(fmt.Sprintf("rate=%.2f", rate), func(t *testing.T) {
+			tr := captureWorkload(t, rate, horizon)
+			refSnap, refState := runTiledForEquivalence(t, tr, 1, true, cycles)
+			for _, tiles := range []int{2, 4} {
+				snap, state := runTiledForEquivalence(t, tr, tiles, true, cycles)
+				if snap != refSnap {
+					t.Errorf("tiles=%d audited Results diverge:\n tiled: %s\n ref:   %s", tiles, snap, refSnap)
+				}
+				if state != refState {
+					t.Errorf("tiles=%d audited accounting diverges:\n tiled: %s\n ref:   %s", tiles, state, refState)
+				}
+			}
+		})
+	}
+}
+
+// TestTileFastForward checks the tiled engine's quiescent fast-forward: an
+// idle tiled network must jump straight between policy boundaries, landing
+// exactly on the requested cycle count with consistent skip accounting.
+func TestTileFastForward(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Policy = PolicyHistory
+	cfg.Tiles = 4
+	n := mustNew(t, cfg)
+	n.Run(100_000)
+	if got := n.Cycle(); got != 100_000 {
+		t.Fatalf("Cycle() = %d after Run(100000)", got)
+	}
+	s := n.SkipStats()
+	if s.FastForwards == 0 || s.CyclesFastForwarded == 0 {
+		t.Errorf("idle tiled network never fast-forwarded: %+v", s)
+	}
+	if s.CyclesExecuted+s.CyclesFastForwarded != 100_000 {
+		t.Errorf("executed %d + fast-forwarded %d != 100000",
+			s.CyclesExecuted, s.CyclesFastForwarded)
+	}
+	if total := s.RouterTicks + s.RouterTicksElided; total != 100_000*int64(len(n.Routers)) {
+		t.Errorf("ticks %d + elided %d != cycles * nodes", s.RouterTicks, s.RouterTicksElided)
+	}
+}
+
+// TestTileGates checks every guard around the tiled engine: config
+// validation, the trace-only workload requirement, the Step/Inject
+// redirects, and the checkpoint refusals.
+func TestTileGates(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero config validated")
+	}
+	cfg := NewConfig()
+	cfg.Tiles = -1
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "negative tile count") {
+		t.Errorf("Tiles=-1 Validate() = %v", err)
+	}
+	cfg.Tiles = 65
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "tiles over") {
+		t.Errorf("Tiles=65 Validate() = %v", err)
+	}
+
+	cfg = NewConfig()
+	cfg.Tiles = 1
+	if n := mustNew(t, cfg); n.Tiled() {
+		t.Error("Tiles=1 built the tiled engine; it must share the single-scheduler path")
+	}
+
+	cfg.Tiles = 2
+	n := mustNew(t, cfg)
+	if !n.Tiled() {
+		t.Fatal("Tiles=2 network not tiled")
+	}
+	if _, err := n.CaptureCheckpoint(); err == nil || !strings.Contains(err.Error(), "tiled") {
+		t.Errorf("CaptureCheckpoint on tiled network: %v", err)
+	}
+	if _, err := n.CaptureForDiff(); err == nil || !strings.Contains(err.Error(), "tiled") {
+		t.Errorf("CaptureForDiff on tiled network: %v", err)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a tiled network did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Step", func() { n.Step() })
+	mustPanic("Inject", func() { n.Inject(0, 1, 0, 0) })
+	p := traffic.NewTwoLevelParams(0.05)
+	p.Seed = 7
+	m, err := traffic.NewTwoLevel(p, n.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("Launch(live model)", func() { n.Launch(m, sim.Time(1000)*cfg.RouterPeriod) })
+
+	// Restoring into a tiled network must refuse before touching state.
+	seq := mustNew(t, NewConfig())
+	horizon := sim.Time(101) * cfg.RouterPeriod
+	tr := traffic.Capture(m, horizon)
+	seq.Launch(tr, horizon)
+	seq.Run(100)
+	st, err := seq.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustNew(t, cfg)
+	if err := fresh.RestoreCheckpoint(st, tr); err == nil || !strings.Contains(err.Error(), "tiled") {
+		t.Errorf("RestoreCheckpoint into tiled network: %v", err)
+	}
+}
+
+// TestTilePartition checks the partition shape: contiguous ascending
+// blocks covering every node, and a lookahead of at least one cycle.
+func TestTilePartition(t *testing.T) {
+	for _, tiles := range []int{2, 3, 4, 7, 64} {
+		cfg := NewConfig()
+		cfg.Tiles = tiles
+		n := mustNew(t, cfg)
+		if len(n.tiles) != tiles {
+			t.Fatalf("tiles=%d built %d tiles", tiles, len(n.tiles))
+		}
+		covered := 0
+		for i, tl := range n.tiles {
+			if tl.lo > tl.hi {
+				t.Fatalf("tile %d has lo %d > hi %d", i, tl.lo, tl.hi)
+			}
+			if i > 0 && tl.lo != n.tiles[i-1].hi {
+				t.Fatalf("tile %d starts at %d, previous ends at %d", i, tl.lo, n.tiles[i-1].hi)
+			}
+			for node := tl.lo; node < tl.hi; node++ {
+				if n.tileOf[node] != i {
+					t.Fatalf("tileOf[%d] = %d, want %d", node, n.tileOf[node], i)
+				}
+				covered++
+			}
+		}
+		if covered != n.Topo.Nodes() {
+			t.Fatalf("tiles=%d cover %d of %d nodes", tiles, covered, n.Topo.Nodes())
+		}
+		if n.lookahead < 1 {
+			t.Fatalf("lookahead %d < 1", n.lookahead)
+		}
+	}
+}

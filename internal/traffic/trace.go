@@ -135,6 +135,46 @@ func (t *Trace) LaunchReplay(sched *sim.Scheduler, horizon sim.Time, inject Inje
 	return r
 }
 
+// LaunchReplayFiltered replays only the arrivals whose source node
+// satisfies keep, as a chained batch-event walk on sched. The chain skips
+// timestamps with no kept arrivals entirely, so a tile's scheduler sees
+// events only at the instants its own sources inject — the per-tile
+// projection of the recorded schedule, in recorded order. Kept arrivals are
+// injected with exactly the timestamps and relative order of LaunchReplay;
+// the horizon contract is the same.
+func (t *Trace) LaunchReplayFiltered(sched *sim.Scheduler, horizon sim.Time, inject Injector, keep func(src int) bool) *Replay {
+	if horizon != t.horizon {
+		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+	}
+	r := &Replay{tr: t, sched: sched, inject: inject}
+	arr := t.arrivals
+	next := func(i int) int {
+		for i < len(arr) && !keep(int(arr[i].Src)) {
+			i++
+		}
+		return i
+	}
+	r.step = func() {
+		i := r.i
+		at := arr[i].At
+		for i < len(arr) && arr[i].At == at {
+			if a := arr[i]; keep(int(a.Src)) {
+				r.inject(int(a.Src), int(a.Dst), at, a.Task)
+			}
+			i++
+		}
+		r.i = next(i)
+		if r.i < len(arr) {
+			r.pendSeq = r.sched.At(arr[r.i].At, r.step)
+		}
+	}
+	r.i = next(0)
+	if r.i < len(arr) {
+		r.pendSeq = sched.At(arr[r.i].At, r.step)
+	}
+	return r
+}
+
 // Resume rebuilds a replay chain mid-walk from checkpointed progress:
 // arrivals before index are considered injected, and when index < Len the
 // chain's event is re-armed under the captured dispatch key pendSeq (via

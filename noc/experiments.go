@@ -26,6 +26,11 @@ type ExperimentOptions struct {
 	// pays for its own warmup instead of forking a shared warmed-up
 	// snapshot. Output is identical either way; only speed differs.
 	NoCheckpoint bool
+	// Tiles runs each simulation on that many tile-parallel blocks with
+	// conservative lookahead barriers. Output is byte-identical at every
+	// tile count; only speed differs, so it is absent from result cache
+	// keys.
+	Tiles int
 }
 
 // lower maps the public options onto the experiment harness's options.
@@ -33,6 +38,7 @@ func (o ExperimentOptions) lower() exp.Options {
 	return exp.Options{
 		Quick: o.Quick, Full: o.Full, Seed: o.Seed,
 		Audit: o.Audit, NoSkip: o.NoSkip, NoCheckpoint: o.NoCheckpoint,
+		Tiles: o.Tiles,
 	}
 }
 
@@ -63,6 +69,29 @@ func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
 		t.FprintCSV(w)
 	}
 	return nil
+}
+
+// CachePrefetchEntry reports one persistent run-cache key a dry-run walk
+// consulted and whether it is present in the installed cache.
+type CachePrefetchEntry struct {
+	Key string
+	Hit bool
+}
+
+// PrefetchExperiments dry-runs the given experiments and reports every
+// persistent-cache key they would consult, in sorted key order, without
+// running any simulation — a cheap cache-health check: keys reported as
+// misses are exactly what a real run would recompute.
+func PrefetchExperiments(ids []string, o ExperimentOptions) ([]CachePrefetchEntry, error) {
+	entries, err := exp.Prefetch(ids, o.lower())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CachePrefetchEntry, len(entries))
+	for i, e := range entries {
+		out[i] = CachePrefetchEntry{Key: e.Key, Hit: e.Hit}
+	}
+	return out, nil
 }
 
 // SetExperimentParallelism bounds how many simulations the experiment

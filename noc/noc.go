@@ -78,6 +78,17 @@ type Config struct {
 	// the pre-optimization simulator did. A debugging escape hatch —
 	// results are identical with or without it; only speed differs.
 	NoSkip bool
+
+	// Tiles partitions the simulation into that many tile-parallel blocks
+	// of routers, each advanced by its own scheduler between conservative
+	// lookahead barriers, so one run can use several cores. Results are
+	// byte-identical at every tile count; only speed differs. A tiled
+	// network replays recorded workload traces only: NewWarmedTwoLevel
+	// supports it transparently, while the live Attach* workloads,
+	// hand-driven Inject and EnableTrace refuse (AttachTwoLevel returns an
+	// error; the others panic on use). 0 or 1 selects the single-scheduler
+	// engine unchanged.
+	Tiles int
 }
 
 // DefaultConfig returns the paper's experimental platform: an 8x8 mesh of
@@ -127,6 +138,7 @@ func (c Config) lower() (network.Config, error) {
 	cfg.Seed = c.Seed
 	cfg.Audit.Enabled = c.Audit
 	cfg.NoSkip = c.NoSkip
+	cfg.Tiles = c.Tiles
 	switch c.Policy {
 	case PolicyHistory, "":
 		cfg.Policy = network.PolicyHistory
@@ -180,6 +192,9 @@ type TwoLevelWorkload struct {
 // AttachTwoLevel arms the two-level workload for the rest of the
 // simulation (one full second of simulated time, effectively unbounded).
 func (n *Network) AttachTwoLevel(w TwoLevelWorkload) error {
+	if n.inner.Tiled() {
+		return errors.New("noc: a tiled network replays recorded traces only; use NewWarmedTwoLevel (or Config.Tiles <= 1)")
+	}
 	p := traffic.NewTwoLevelParams(w.Rate)
 	if w.Tasks > 0 {
 		p.AvgTasks = w.Tasks
