@@ -8,10 +8,10 @@
 #   make race    # full test suite under the race detector
 #   make fuzz    # 10s per fuzz target (go test -fuzz takes one at a time)
 #   make bench   # end-to-end Step + tiled-core + run-cache +
-#                # checkpoint-sweep + scheduler + packet-alloc benchmarks;
-#                # set BENCH_COUNT=10 for benchstat samples
-#   make bench-json # regenerate the committed BENCH_pr8.json trajectory
-#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr7.json
+#                # checkpoint-sweep + trace-store + scheduler + packet-alloc
+#                # benchmarks; set BENCH_COUNT=10 for benchstat samples
+#   make bench-json # regenerate the committed BENCH_pr9.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr8.json
 #                # (the previous PR's committed baseline); fails on a >10%
 #                # ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/topology -run xxx -fuzz FuzzTopologyCoords -fuzztime 10s
 	$(GO) test ./internal/checkpoint -run xxx -fuzz FuzzCheckpointDecode -fuzztime 10s -fuzzminimizetime=10x
 	$(GO) test ./internal/checkpoint -run xxx -fuzz FuzzSnapshotRoundTrip -fuzztime 10s -fuzzminimizetime=10x
+	$(GO) test ./internal/traffic/tracestore -run xxx -fuzz FuzzTraceDecode -fuzztime 10s -fuzzminimizetime=10x
 
 # benchstat-friendly: `make bench BENCH_COUNT=10 > old.txt`, change code,
 # `make bench BENCH_COUNT=10 > new.txt`, `benchstat old.txt new.txt`.
@@ -76,14 +77,15 @@ bench:
 	$(GO) test . -run xxx -bench 'BenchmarkStepTiled' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test . -run xxx -bench 'BenchmarkRunAll(Cold|Warm)Cache' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test . -run xxx -bench 'BenchmarkSweep(Straight|Checkpointed)' -benchmem -count=$(BENCH_COUNT)
+	$(GO) test . -run xxx -bench 'BenchmarkTrace(CaptureCold|DecodeWarm)|BenchmarkStoreOpenIndexed' -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/sim -run xxx -bench BenchmarkSchedulerPushPop -benchmem -count=$(BENCH_COUNT)
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
 
 bench-diff:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -baseline BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json -baseline BENCH_pr8.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

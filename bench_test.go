@@ -145,6 +145,22 @@ func BenchmarkSweepStraight(b *testing.B) { bench.Sweep(b, true) }
 // subsystem (cmd/benchjson records both in BENCH_pr7.json).
 func BenchmarkSweepCheckpointed(b *testing.B) { bench.Sweep(b, false) }
 
+// --- Trace store benchmarks ----------------------------------------------
+
+// BenchmarkTraceCaptureCold measures the live path a point pays without
+// the trace store: build the two-level model and capture its arrivals.
+func BenchmarkTraceCaptureCold(b *testing.B) { bench.TraceCaptureCold(b) }
+
+// BenchmarkTraceDecodeWarm measures the store-backed replacement — decode,
+// validate and replay the same workload's compressed encoding; the ratio
+// against BenchmarkTraceCaptureCold is the headline number of the trace
+// store (cmd/benchjson records it in BENCH_pr9.json).
+func BenchmarkTraceDecodeWarm(b *testing.B) { bench.TraceDecodeWarm(b) }
+
+// BenchmarkStoreOpenIndexed opens a 1000-entry cache directory through its
+// index sidecar: one sidecar read, zero per-entry stats.
+func BenchmarkStoreOpenIndexed(b *testing.B) { bench.StoreOpenIndexed(b, 1000) }
+
 // --- Activity-driven core benchmarks -------------------------------------
 
 // BenchmarkStepLowLoad measures router-cycle throughput at a near-idle

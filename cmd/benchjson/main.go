@@ -2,14 +2,15 @@
 // end-to-end Step benchmarks at low load and saturation (with the
 // activity-driven core on and off), the tiled-core Step points, the cold-
 // and warm-cache experiment regenerations, the checkpointed and straight
-// threshold sweeps, plus the scheduler and packet-alloc micro-benchmarks —
-// and writes the results as machine-readable JSON.
+// threshold sweeps, the trace-store capture/decode pair and indexed cache
+// open, plus the scheduler and packet-alloc micro-benchmarks — and writes
+// the results as machine-readable JSON.
 //
-//	benchjson -out BENCH_pr8.json
-//	benchjson -baseline BENCH_pr7.json                     # run, then diff
-//	benchjson -in BENCH_pr8.json -baseline BENCH_pr7.json  # diff two files
+//	benchjson -out BENCH_pr9.json
+//	benchjson -baseline BENCH_pr8.json                     # run, then diff
+//	benchjson -in BENCH_pr9.json -baseline BENCH_pr8.json  # diff two files
 //
-// The committed BENCH_pr8.json pins this PR's measured curve so future
+// The committed BENCH_pr9.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
 //
 // With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
@@ -75,7 +76,11 @@ type summary struct {
 	// degenerated to a single tile over the single-scheduler saturation
 	// point — the acceptance bound for the tiled bookkeeping (<= 5%).
 	TileOverheadFrac float64 `json:"tile_overhead_frac,omitempty"`
-	Note             string  `json:"note,omitempty"`
+	// TraceStoreSpeedupX is how much faster a workload's arrival sequence
+	// decodes and replays from its trace-store encoding than the live
+	// model re-captures it.
+	TraceStoreSpeedupX float64 `json:"trace_store_speedup_x,omitempty"`
+	Note               string  `json:"note,omitempty"`
 }
 
 // summaryNote qualifies the speedup figures: the -noskip baseline in this
@@ -92,7 +97,9 @@ const summaryNote = "low_load_speedup_x compares against -noskip in the same bin
 	"tile_overhead_frac compares the tiled engine at one tile against the " +
 	"single-scheduler saturation point (StepTiled2/4 meter barrier cost — on a " +
 	"single-CPU host they cannot win wall clock); " +
-	"diff against the committed BENCH_pr7.json (benchjson -baseline BENCH_pr7.json) for " +
+	"trace_store_speedup_x compares decoding and replaying a stored arrival trace " +
+	"against re-capturing the same workload from the live two-level model; " +
+	"diff against the committed BENCH_pr8.json (benchjson -baseline BENCH_pr8.json) for " +
 	"the cross-PR trajectory."
 
 // regressionThreshold is the fractional slowdown (ns/op) or allocation
@@ -103,11 +110,11 @@ func measure(name string, fn func(b *testing.B)) result {
 	r := testing.Benchmark(fn)
 	fmt.Fprintf(os.Stderr, "%-24s %s %s\n", name, r.String(), r.MemString())
 	return result{
-		Name:         name,
-		Iterations:   r.N,
-		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp:  r.AllocsPerOp(),
-		BytesPerOp:   r.AllocedBytesPerOp(),
+		Name:              name,
+		Iterations:        r.N,
+		NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:       r.AllocsPerOp(),
+		BytesPerOp:        r.AllocedBytesPerOp(),
 		CyclesPerSec:      r.Extra["cycles/sec"],
 		ElisionRatio:      r.Extra["elision-ratio"],
 		WarmupCyclesPerOp: r.Extra["warmup-cycles/op"],
@@ -127,6 +134,9 @@ func runAll() []result {
 		measure("RunAllWarmCache", func(b *testing.B) { bench.FiguresRunAll(b, true) }),
 		measure("SweepStraight", func(b *testing.B) { bench.Sweep(b, true) }),
 		measure("SweepCheckpointed", func(b *testing.B) { bench.Sweep(b, false) }),
+		measure("TraceCaptureCold", bench.TraceCaptureCold),
+		measure("TraceDecodeWarm", bench.TraceDecodeWarm),
+		measure("StoreOpenIndexed", func(b *testing.B) { bench.StoreOpenIndexed(b, 1000) }),
 		measure("SchedulerPushPop", bench.SchedulerPushPop),
 		measure("PacketAlloc", bench.PacketAlloc),
 	}
@@ -210,7 +220,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_pr9.json", "output file (- for stdout)")
 	in := flag.String("in", "", "read results from this report instead of running benchmarks")
 	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
 	flag.Parse()
@@ -252,11 +262,14 @@ func main() {
 	if tiled, flat := byName["StepTiled1"], byName["StepSaturation"]; flat.NsPerOp > 0 && tiled.NsPerOp > 0 {
 		rep.Summary.TileOverheadFrac = tiled.NsPerOp/flat.NsPerOp - 1
 	}
+	if warm, cold := byName["TraceDecodeWarm"], byName["TraceCaptureCold"]; warm.NsPerOp > 0 {
+		rep.Summary.TraceStoreSpeedupX = cold.NsPerOp / warm.NsPerOp
+	}
 	rep.Summary.Note = summaryNote
-	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx, tile overhead %+.1f%%\n",
+	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx, tile overhead %+.1f%%, trace-store speedup %.2fx\n",
 		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac,
 		rep.Summary.WarmCacheSpeedupX, rep.Summary.CheckpointSpeedupX,
-		100*rep.Summary.TileOverheadFrac)
+		100*rep.Summary.TileOverheadFrac, rep.Summary.TraceStoreSpeedupX)
 
 	if *in == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -49,6 +49,7 @@ func main() {
 		prefetch   = flag.Bool("prefetch", false, "report which run-cache keys the selected experiments would hit or miss; no simulations run")
 		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; recompute everything")
+		noTraceStr = flag.Bool("no-trace-store", false, "disable the persistent arrival-trace store; re-capture workloads live (same output)")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache counters to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -72,6 +73,15 @@ func main() {
 		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
 			// A cache that won't open costs speed, not correctness.
 			fmt.Fprintln(os.Stderr, "figures: run cache disabled:", err)
+		}
+	}
+	// The trace store is independent of -no-cache: traces decode to the
+	// exact captured arrival sequence, so results are byte-identical with
+	// the store on or off — a -no-cache recompute still replays warm
+	// traces instead of re-simulating every workload.
+	if !*noTraceStr {
+		if err := noc.EnableTraceStore(*cacheDir, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: trace store disabled:", err)
 		}
 	}
 	if *cacheStats {
@@ -111,16 +121,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		hits := 0
-		for _, e := range entries {
-			status := "MISS"
-			if e.Hit {
-				status = "HIT "
-				hits++
+		// One section per store: result keys (the run cache), then trace
+		// keys (the arrival-trace store). Entries arrive sorted by kind
+		// then key, so each section prints contiguously with its own
+		// summary line — CI asserts on both.
+		section := func(kind, label string) {
+			n, hits := 0, 0
+			for _, e := range entries {
+				if e.Kind != kind {
+					continue
+				}
+				n++
+				status := "MISS"
+				if e.Hit {
+					status = "HIT "
+					hits++
+				}
+				fmt.Printf("%s %s\n", status, e.Key)
 			}
-			fmt.Printf("%s %s\n", status, e.Key)
+			fmt.Printf("%s: %d keys, %d hit, %d miss\n", label, n, hits, n-hits)
 		}
-		fmt.Printf("prefetch: %d keys, %d hit, %d miss\n", len(entries), hits, len(entries)-hits)
+		section("result", "prefetch")
+		section("trace", "prefetch traces")
 		return
 	}
 
@@ -161,4 +183,9 @@ func printCacheStats() {
 		"runcache: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
 		s.Hits, s.Misses, s.Puts, s.CorruptDropped, s.Evictions,
 		s.BytesRead, s.BytesWritten, s.HitRate())
+	t := noc.TraceStoreStats()
+	fmt.Fprintf(os.Stderr,
+		"tracestore: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
+		t.Hits, t.Misses, t.Puts, t.CorruptDropped, t.Evictions,
+		t.BytesRead, t.BytesWritten, t.HitRate())
 }

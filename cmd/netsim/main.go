@@ -57,6 +57,7 @@ func main() {
 		jobs       = flag.Int("j", 0, "max OS threads for this process (0 = GOMAXPROCS); one simulation is single-threaded, this bounds GC/runtime helpers when profiling")
 		cacheDir   = flag.String("cache-dir", "", "persistent run cache directory (default: user cache dir)")
 		noCache    = flag.Bool("no-cache", false, "disable the persistent run cache; always simulate")
+		noTraceStr = flag.Bool("no-trace-store", false, "disable the persistent arrival-trace store; re-capture the workload live (same output)")
 		cacheStats = flag.Bool("cachestats", false, "print run-cache counters to stderr on exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -121,6 +122,13 @@ func main() {
 		if err := noc.EnableRunCache(*cacheDir, 0); err != nil {
 			// A cache that won't open costs speed, not correctness.
 			fmt.Fprintln(os.Stderr, "netsim: run cache disabled:", err)
+		}
+	}
+	// Independent of -no-cache: a warm trace decodes to the exact captured
+	// arrival sequence, so the summary is byte-identical either way.
+	if !*noTraceStr {
+		if err := noc.EnableTraceStore(*cacheDir, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim: trace store disabled:", err)
 		}
 	}
 	if *cacheStats {
@@ -285,6 +293,11 @@ func printCacheStats() {
 		"runcache: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
 		s.Hits, s.Misses, s.Puts, s.CorruptDropped, s.Evictions,
 		s.BytesRead, s.BytesWritten, s.HitRate())
+	t := noc.TraceStoreStats()
+	fmt.Fprintf(os.Stderr,
+		"tracestore: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
+		t.Hits, t.Misses, t.Puts, t.CorruptDropped, t.Evictions,
+		t.BytesRead, t.BytesWritten, t.HitRate())
 }
 
 // printSkipStats summarizes the activity-driven core's work avoidance.

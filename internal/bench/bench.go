@@ -15,7 +15,9 @@ import (
 	"repro/internal/network"
 	"repro/internal/runcache"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/traffic/tracestore"
 )
 
 // The end-to-end Step benchmarks run the paper's 8x8 platform at two
@@ -162,6 +164,105 @@ func Sweep(b *testing.B, noCheckpoint bool) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(exp.WarmupCyclesExecuted()-warmBefore)/float64(b.N), "warmup-cycles/op")
+}
+
+// traceBenchHorizon is the capture window of the trace codec benchmarks:
+// long enough for a few tens of thousands of arrivals at the default 8x8
+// two-level workload, short enough that one capture stays well under a
+// second.
+const traceBenchHorizon = 20 * sim.Microsecond
+
+// TraceCaptureCold measures what a point pays without the trace store:
+// constructing the two-level workload model and capturing its arrival
+// sequence by running it through a scheduler. The captured trace is
+// encoded incrementally as it records, so the cost includes the codec's
+// write side.
+func TraceCaptureCold(b *testing.B) {
+	topo := topology.NewMesh2D(8)
+	p := traffic.NewTwoLevelParams(1.0)
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		m, err := traffic.NewTwoLevel(p, topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = traffic.Capture(m, traceBenchHorizon).Len()
+	}
+	if n == 0 {
+		b.Fatal("capture recorded no arrivals")
+	}
+	b.ReportMetric(float64(n), "arrivals")
+}
+
+// TraceDecodeWarm measures the replacement: decoding the same workload's
+// stored encoding (checksum, structural validation, cross-block time-order
+// check — the full path Store.Load takes) and replaying every arrival
+// through a scheduler. The ratio against TraceCaptureCold is the headline
+// number of the trace store (trace_store_speedup_x in BENCH_pr9.json).
+func TraceDecodeWarm(b *testing.B) {
+	topo := topology.NewMesh2D(8)
+	m, err := traffic.NewTwoLevel(traffic.NewTwoLevelParams(1.0), topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := traffic.Capture(m, traceBenchHorizon)
+	raw := tr.Encoded().Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := tracestore.Decode(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := enc.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		var sched sim.Scheduler
+		got := 0
+		traffic.FromEncoded(enc).Launch(&sched, traceBenchHorizon, func(int, int, sim.Time, int64) { got++ })
+		sched.RunUntil(traceBenchHorizon)
+		if got != tr.Len() {
+			b.Fatalf("replayed %d of %d arrivals", got, tr.Len())
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "arrivals")
+}
+
+// StoreOpenIndexed measures runcache.Open against a directory of entries
+// whose index sidecar is valid: the open reads one sidecar file regardless
+// of entry count — zero per-entry stats — where the pre-index scan walked
+// every entry. The committed row runs at 1000 entries; the benchmark fails
+// rather than silently measuring the fallback scan.
+func StoreOpenIndexed(b *testing.B, entries int) {
+	dir, err := os.MkdirTemp("", "runcache-open-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := runcache.Options{Fingerprint: "open-bench"}
+	s, err := runcache.Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	for i := 0; i < entries; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := runcache.Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !h.IndexLoaded() {
+			b.Fatal("index sidecar not trusted; this would measure the directory scan")
+		}
+	}
 }
 
 // AllocRegressed classifies an allocs/op change against a baseline: a

@@ -40,9 +40,9 @@ func addSeeds(f *testing.F) {
 	b := fuzzSeedSnapshot(f)
 	f.Add(b)
 	f.Add([]byte{})
-	f.Add(b[:10])            // header only
-	f.Add(b[:len(b)/2])      // truncated mid-payload
-	f.Add(append(b, 0xff))   // trailing garbage
+	f.Add(b[:10])          // header only
+	f.Add(b[:len(b)/2])    // truncated mid-payload
+	f.Add(append(b, 0xff)) // trailing garbage
 	corrupt := append([]byte(nil), b...)
 	for i := 16; i < len(corrupt); i += 97 {
 		corrupt[i] ^= 0xa5

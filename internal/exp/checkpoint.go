@@ -124,9 +124,11 @@ func warmSnapshot(s spec, o Options) *warmSnap {
 		cfg.Tiles = 0
 		horizon := sim.Time(warm+meas+1) * cfg.RouterPeriod
 		topo := topology.New(cfg.K, cfg.N, cfg.Torus)
-		tr := traffic.SharedTwoLevelTrace(s.twoLevelParams(o), topo, horizon)
+		tr, _ := traffic.SharedTwoLevelTrace(s.twoLevelParams(o), topo, horizon)
 		if tr == nil {
-			return &warmSnap{} // workload exceeds the trace budget: run live, straight
+			// Workload exceeds the trace budget: run live, straight.
+			// build already emitted the fallback note for this point.
+			return &warmSnap{}
 		}
 		if ds := diskStore.Load(); ds != nil {
 			if b, ok := ds.Get(wkey); ok {

@@ -10,8 +10,10 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -253,7 +255,11 @@ func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.M
 	// the untiled engine — same bytes, one scheduler.
 	var tr *traffic.Trace
 	if !noTraceMemo {
-		tr = traffic.SharedTwoLevelTrace(p, topology.New(cfg.K, cfg.N, cfg.Torus), horizon)
+		var reason string
+		tr, reason = traffic.SharedTwoLevelTrace(p, topology.New(cfg.K, cfg.N, cfg.Torus), horizon)
+		if tr == nil {
+			noteTraceFallback(s, reason)
+		}
 	}
 	if tr == nil {
 		cfg.Tiles = 0
@@ -272,7 +278,24 @@ func (s spec) build(o Options, horizonCycles int64) (*network.Network, traffic.M
 	return n, m, horizon
 }
 
-// config assembles the platform configuration for a spec.
+// traceFallbackNotes dedupes the live-model fallback notes: a sweep asks
+// for the same oversized workload once per policy variant, and the user
+// needs the fact once per point, not per variant.
+var traceFallbackNotes sync.Map
+
+// noteTraceFallback emits one stderr note when a point must run its
+// traffic model live — losing trace replay and, with it, tile eligibility
+// (tiled networks replay recorded traces only) — naming the point and the
+// reason, mirroring the tiled-degrade notes in the cmds. Silent fallback
+// hid exactly the -full points users most expect to parallelize.
+func noteTraceFallback(s spec, reason string) {
+	key := fmt.Sprintf("%v|%g|%d|%s", s.policy, s.rate, s.seed, reason)
+	if _, dup := traceFallbackNotes.LoadOrStore(key, true); dup {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "exp: point policy=%v rate=%g: live workload (trace and tile eligibility lost): %s\n",
+		s.policy, s.rate, reason)
+}
 func (s spec) config(o Options) network.Config {
 	cfg := network.NewConfig()
 	cfg.Policy = s.policy
@@ -348,6 +371,7 @@ func (s spec) cacheKey(o Options) string {
 // singleflight guarantee covers both layers — one disk read or one
 // simulation per point, no matter how many goroutines ask.
 func run(s spec, o Options) network.Results {
+	prefetchRecordTrace(s, o) // no-op outside a prefetch walk
 	key := "point|" + s.cacheKey(o)
 	return runCache.do(key, func() network.Results {
 		return cached(key, func() (r network.Results) {

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/runcache"
+	"repro/internal/traffic"
+	"repro/internal/traffic/tracestore"
 )
 
 // update regenerates the golden files instead of comparing against them:
@@ -175,6 +177,48 @@ func TestGoldenWithDiskCache(t *testing.T) {
 	}
 	if afterWarm.Hits == afterCold.Hits {
 		t.Errorf("warm golden rerun never hit the disk store: %+v", afterWarm)
+	}
+}
+
+// TestGoldenWithTraceStore: the golden pins must hold with the persistent
+// trace store active — traces captured and saved cold, reloaded and
+// replayed from their compressed encoding warm. The store may change where
+// arrivals come from, never a byte of output; the warm rerun must reload
+// every trace (zero trace misses, zero re-captures) and still match the
+// pin, which is the on-disk half of the capture-vs-decode identity
+// contract.
+func TestGoldenWithTraceStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed golden comparison skipped in -short")
+	}
+	rc, err := runcache.Open(t.TempDir(), runcache.Options{Fingerprint: "exp-golden-trace-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic.SetTraceStore(tracestore.NewStore(rc))
+	defer func() {
+		traffic.SetTraceStore(nil)
+		ResetCaches()
+	}()
+
+	ResetCaches()
+	compareGolden(t, "fig10") // cold: capture traces, persist them
+	afterCold := rc.Stats()
+	if afterCold.Puts == 0 {
+		t.Fatalf("cold run persisted no traces: %+v", afterCold)
+	}
+
+	ResetCaches()
+	compareGolden(t, "fig10") // warm: reload every trace from disk
+	afterWarm := rc.Stats()
+	if d := afterWarm.Misses - afterCold.Misses; d != 0 {
+		t.Errorf("warm rerun missed the trace store %d times; want 0", d)
+	}
+	if d := afterWarm.Puts - afterCold.Puts; d != 0 {
+		t.Errorf("warm rerun re-captured and re-saved %d traces; want 0", d)
+	}
+	if afterWarm.Hits == afterCold.Hits {
+		t.Errorf("warm rerun never hit the trace store: %+v", afterWarm)
 	}
 }
 

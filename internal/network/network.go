@@ -100,7 +100,12 @@ type Config struct {
 	// is byte-identical at every tile count (see tile.go for the
 	// argument); 0 or 1 selects the single-scheduler path unchanged. A
 	// tiled network requires a recorded trace workload (see Launch) and
-	// refuses checkpoint capture.
+	// refuses checkpoint capture. Trace availability is therefore the
+	// tile-eligibility gate: the streaming replay's arrival budgets
+	// (internal/traffic) are sized so even -full experiment points record
+	// traces, and a point that still exceeds them falls back to the live
+	// model — losing tile eligibility — with a one-time stderr note from
+	// the harness naming the point and reason.
 	Tiles int
 
 	// Audit configures the runtime invariant checker (internal/audit).

@@ -3,77 +3,140 @@
 // chain closures, sphere caches), and every policy-ablation point at one
 // (seed, rate, horizon) regenerates the identical arrival sequence — the
 // model's randomness is independent of the network it drives. Capture runs
-// the model once against a private scheduler and records the arrivals;
-// the resulting Trace is an immutable Model that replays them with zero
-// steady-state allocation, shared read-only across concurrent sweeps.
+// the model once against a private scheduler and encodes the arrivals
+// directly into the tracestore wire form (delta varints, ~5 bytes per
+// arrival instead of a 24-byte struct); the resulting Trace is an
+// immutable Model that replays them with zero steady-state allocation,
+// shared read-only across concurrent sweeps.
+//
+// Replay streams: each Replay walks the encoded blocks through a private
+// cursor holding one decoded block (tracestore.DefaultBlockLen records) at
+// a time, so replay memory is independent of trace length. That is what
+// lets the per-trace budget sit at tens of millions of arrivals — enough
+// for every -full figure point — where the materialized-slice design
+// before it capped out at 1.5M.
+//
+// Traces also persist: when a trace store is installed (SetTraceStore,
+// wired to `<run-cache>/traces` by the cmds), SharedTwoLevelTrace consults
+// memory, then disk, then captures live — so a cold process pays decode
+// (cheap, sequential) instead of model simulation for every workload any
+// previous run has seen.
 package traffic
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic/tracestore"
 )
 
-// Arrival is one recorded packet injection.
-type Arrival struct {
-	At   sim.Time
-	Task int64
-	// Src and Dst are int32 to keep traces compact; node counts are far
-	// below 2^31.
-	Src, Dst int32
-}
+// Arrival is one recorded packet injection — an alias of the tracestore
+// record so captures encode without conversion.
+type Arrival = tracestore.Record
 
 // Trace is a recorded injection schedule. It implements Model: Launch
 // replays the arrivals through a chained batch-event walk (one scheduler
 // event per distinct timestamp), preserving the pre-scheduled-chain
 // contract that quiescent fast-forward depends on. A Trace is immutable
-// after Capture and safe to share across concurrently running simulations.
+// after Capture and safe to share across concurrently running simulations:
+// all mutable decode state lives in per-Replay cursors.
 type Trace struct {
-	name     string
-	horizon  sim.Time
-	arrivals []Arrival
+	enc *tracestore.Encoded
+
+	// atMu guards atCur, the lazily-seeded cursor backing the random-access
+	// At. Replays never touch it.
+	atMu  sync.Mutex
+	atCur cursor
 }
+
+// FromEncoded wraps a decoded trace (e.g. loaded from the trace store).
+func FromEncoded(enc *tracestore.Encoded) *Trace { return &Trace{enc: enc} }
+
+// Encoded exposes the wire-form trace, for persisting.
+func (t *Trace) Encoded() *tracestore.Encoded { return t.enc }
 
 // Name implements Model; it reports the captured model's name so
 // experiment output is identical whether a point ran live or from a trace.
-func (t *Trace) Name() string { return t.name }
+func (t *Trace) Name() string { return t.enc.Name() }
 
 // Len reports the number of recorded arrivals.
-func (t *Trace) Len() int { return len(t.arrivals) }
+func (t *Trace) Len() int { return t.enc.Len() }
 
 // Horizon reports the horizon the trace was captured with.
-func (t *Trace) Horizon() sim.Time { return t.horizon }
+func (t *Trace) Horizon() sim.Time { return t.enc.Horizon() }
 
-// At returns the i-th recorded arrival.
-func (t *Trace) At(i int) Arrival { return t.arrivals[i] }
+// At returns the i-th recorded arrival. Random access costs at most one
+// block decode (amortized nothing for sequential i); it exists for
+// checkpoint validation and tests — replays stream through their own
+// cursors.
+func (t *Trace) At(i int) Arrival {
+	t.atMu.Lock()
+	defer t.atMu.Unlock()
+	if t.atCur.enc == nil {
+		t.atCur.enc = t.enc
+	}
+	return t.atCur.at(i)
+}
+
+// cursor is a streaming window over an encoded trace: one decoded block,
+// re-decoded on demand as the index moves. Sequential walks decode each
+// block exactly once; a seek (checkpoint resume) costs one block decode.
+type cursor struct {
+	enc  *tracestore.Encoded
+	base int // index of buf[0]
+	buf  []Arrival
+}
+
+func (c *cursor) at(i int) Arrival {
+	if i < c.base || i >= c.base+len(c.buf) {
+		c.load(i / c.enc.BlockLen())
+	}
+	return c.buf[i-c.base]
+}
+
+func (c *cursor) load(block int) {
+	buf, err := c.enc.DecodeBlock(block, c.buf)
+	if err != nil {
+		// Unreachable for store-loaded traces (Decode verified the
+		// checksum) and for captures (we encoded them); reaching it means
+		// memory corruption, not bad input.
+		panic(fmt.Sprintf("traffic: trace block %d undecodable: %v", block, err))
+	}
+	c.buf = buf
+	c.base = block * c.enc.BlockLen()
+}
 
 // Capture runs m against a private scheduler and records every injection
-// up to horizon. The recorded sequence is exactly the sequence the model
+// up to horizon, encoding incrementally — the raw arrival slice is never
+// materialized. The recorded sequence is exactly the sequence the model
 // would deliver to a live network: model event chains consume only their
 // own RNG state and their own event times, never network state.
 func Capture(m Model, horizon sim.Time) *Trace {
 	var sched sim.Scheduler
-	tr := &Trace{name: m.Name(), horizon: horizon}
+	e := tracestore.NewEncoder(m.Name(), horizon)
 	m.Launch(&sched, horizon, func(src, dst int, now sim.Time, task int64) {
-		tr.arrivals = append(tr.arrivals, Arrival{At: now, Task: task, Src: int32(src), Dst: int32(dst)})
+		e.Append(Arrival{At: now, Task: task, Src: int32(src), Dst: int32(dst)})
 	})
 	sched.RunUntil(horizon)
-	return tr
+	return &Trace{enc: e.Finish()}
 }
 
 // Replay walks a trace's arrivals as a chained scheduler event: each firing
 // injects every arrival sharing the current timestamp, then arms itself for
-// the next distinct timestamp. One closure is allocated per Launch; the
-// steady state allocates nothing. The handle exposes the walk's progress so
-// a checkpoint can capture it: the chain's full state is the next arrival
-// index plus the pending event's dispatch key (the pending instant is
-// always the next arrival's timestamp).
+// the next distinct timestamp. One closure and one block cursor are
+// allocated per Launch; the steady state allocates nothing beyond block
+// re-decodes into the cursor's reused buffer. The handle exposes the walk's
+// progress so a checkpoint can capture it: the chain's full state is the
+// next arrival index plus the pending event's dispatch key (the pending
+// instant is always the next arrival's timestamp).
 type Replay struct {
 	tr      *Trace
 	sched   *sim.Scheduler
 	inject  Injector
+	cur     cursor
 	i       int
 	step    func()
 	pendSeq int64
@@ -83,32 +146,35 @@ type Replay struct {
 // chain is still live (index < Len), the dispatch key of its pending
 // scheduler event.
 func (r *Replay) Progress() (index int, pendAt sim.Time, pendSeq int64) {
-	if r.i < len(r.tr.arrivals) {
-		return r.i, r.tr.arrivals[r.i].At, r.pendSeq
+	if r.i < r.tr.Len() {
+		return r.i, r.cur.at(r.i).At, r.pendSeq
 	}
 	return r.i, 0, 0
 }
 
 // Done reports whether every arrival has been injected.
-func (r *Replay) Done() bool { return r.i >= len(r.tr.arrivals) }
+func (r *Replay) Done() bool { return r.i >= r.tr.Len() }
 
 // Trace reports the trace the replay walks.
 func (r *Replay) Trace() *Trace { return r.tr }
 
 func (t *Trace) newReplay(sched *sim.Scheduler, inject Injector) *Replay {
-	r := &Replay{tr: t, sched: sched, inject: inject}
+	r := &Replay{tr: t, sched: sched, inject: inject, cur: cursor{enc: t.enc}}
+	n := t.Len()
 	r.step = func() {
-		arr := r.tr.arrivals
 		i := r.i
-		at := arr[i].At
-		for i < len(arr) && arr[i].At == at {
-			a := arr[i]
+		at := r.cur.at(i).At
+		for i < n {
+			a := r.cur.at(i)
+			if a.At != at {
+				break
+			}
 			r.inject(int(a.Src), int(a.Dst), at, a.Task)
 			i++
 		}
 		r.i = i
-		if i < len(arr) {
-			r.pendSeq = r.sched.At(arr[i].At, r.step)
+		if i < n {
+			r.pendSeq = r.sched.At(r.cur.at(i).At, r.step)
 		}
 	}
 	return r
@@ -125,12 +191,12 @@ func (t *Trace) Launch(sched *sim.Scheduler, horizon sim.Time, inject Injector) 
 // checkpoint the walk's progress. The handle is non-nil even for an empty
 // trace (the chain is born done).
 func (t *Trace) LaunchReplay(sched *sim.Scheduler, horizon sim.Time, inject Injector) *Replay {
-	if horizon != t.horizon {
-		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+	if horizon != t.Horizon() {
+		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.Horizon(), horizon))
 	}
 	r := t.newReplay(sched, inject)
-	if len(t.arrivals) > 0 {
-		r.pendSeq = sched.At(t.arrivals[0].At, r.step)
+	if t.Len() > 0 {
+		r.pendSeq = sched.At(r.cur.at(0).At, r.step)
 	}
 	return r
 }
@@ -143,34 +209,38 @@ func (t *Trace) LaunchReplay(sched *sim.Scheduler, horizon sim.Time, inject Inje
 // injected with exactly the timestamps and relative order of LaunchReplay;
 // the horizon contract is the same.
 func (t *Trace) LaunchReplayFiltered(sched *sim.Scheduler, horizon sim.Time, inject Injector, keep func(src int) bool) *Replay {
-	if horizon != t.horizon {
-		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.horizon, horizon))
+	if horizon != t.Horizon() {
+		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.Horizon(), horizon))
 	}
-	r := &Replay{tr: t, sched: sched, inject: inject}
-	arr := t.arrivals
+	r := &Replay{tr: t, sched: sched, inject: inject, cur: cursor{enc: t.enc}}
+	n := t.Len()
 	next := func(i int) int {
-		for i < len(arr) && !keep(int(arr[i].Src)) {
+		for i < n && !keep(int(r.cur.at(i).Src)) {
 			i++
 		}
 		return i
 	}
 	r.step = func() {
 		i := r.i
-		at := arr[i].At
-		for i < len(arr) && arr[i].At == at {
-			if a := arr[i]; keep(int(a.Src)) {
+		at := r.cur.at(i).At
+		for i < n {
+			a := r.cur.at(i)
+			if a.At != at {
+				break
+			}
+			if keep(int(a.Src)) {
 				r.inject(int(a.Src), int(a.Dst), at, a.Task)
 			}
 			i++
 		}
 		r.i = next(i)
-		if r.i < len(arr) {
-			r.pendSeq = r.sched.At(arr[r.i].At, r.step)
+		if r.i < n {
+			r.pendSeq = r.sched.At(r.cur.at(r.i).At, r.step)
 		}
 	}
 	r.i = next(0)
-	if r.i < len(arr) {
-		r.pendSeq = sched.At(arr[r.i].At, r.step)
+	if r.i < n {
+		r.pendSeq = sched.At(r.cur.at(r.i).At, r.step)
 	}
 	return r
 }
@@ -180,35 +250,79 @@ func (t *Trace) LaunchReplayFiltered(sched *sim.Scheduler, horizon sim.Time, inj
 // chain's event is re-armed under the captured dispatch key pendSeq (via
 // sim.Scheduler.AtSeq) at the next arrival's timestamp.
 func (t *Trace) Resume(sched *sim.Scheduler, inject Injector, index int, pendSeq int64) (*Replay, error) {
-	if index < 0 || index > len(t.arrivals) {
-		return nil, fmt.Errorf("traffic: resume index %d outside [0,%d]", index, len(t.arrivals))
+	if index < 0 || index > t.Len() {
+		return nil, fmt.Errorf("traffic: resume index %d outside [0,%d]", index, t.Len())
 	}
 	r := t.newReplay(sched, inject)
 	r.i = index
-	if index < len(t.arrivals) {
+	if index < t.Len() {
 		if pendSeq <= 0 {
 			return nil, fmt.Errorf("traffic: resume at live index %d without a pending event seq", index)
 		}
 		r.pendSeq = pendSeq
-		sched.AtSeq(t.arrivals[index].At, pendSeq, r.step)
+		sched.AtSeq(r.cur.at(index).At, pendSeq, r.step)
 	}
 	return r, nil
 }
 
 // Trace cache: policy ablations sweep many (policy, threshold) variants
 // over the same (seed, rate, pattern, horizon) workload; the cache lets
-// them all share one captured trace. Budgets are in arrivals (24 bytes
-// each): points whose estimated trace would exceed perTraceArrivalBudget
-// are not captured at all (callers fall back to the live model), and the
-// cache evicts oldest-first once completed traces together exceed
-// totalTraceArrivalBudget.
+// them all share one captured trace. Budgets are in arrivals, but an
+// arrival now costs ~5 encoded bytes, not a 24-byte struct, and replay
+// streams block-by-block — so the budgets sit two orders of magnitude
+// above the old materialized-slice limits and cover every -full figure
+// point (rate 8.0 at the full measurement horizon is the one production
+// workload left out; it falls back to the live model, with a stderr note
+// from the harness). The cache evicts oldest-first once completed traces
+// together exceed totalTraceArrivalBudget.
 const (
-	perTraceArrivalBudget   = 1_500_000
-	totalTraceArrivalBudget = 4_000_000
+	perTraceArrivalBudget   = 64_000_000
+	totalTraceArrivalBudget = 192_000_000
 )
 
+// traceStore is the installed persistent store (nil without one). It is
+// deliberately excluded from result cache keys: a trace-store hit changes
+// where bytes come from, never what they are.
+var traceStore atomic.Pointer[tracestore.Store]
+
+// SetTraceStore installs (or, with nil, removes) the persistent trace
+// store consulted by SharedTwoLevelTrace.
+func SetTraceStore(s *tracestore.Store) { traceStore.Store(s) }
+
+// InstalledTraceStore returns the store installed by SetTraceStore, or nil.
+func InstalledTraceStore() *tracestore.Store { return traceStore.Load() }
+
+// TwoLevelTraceKey is the persistent-store key for a two-level workload
+// trace: every model parameter, the topology shape, and the horizon
+// (chains are armed against it), under the versioned trace| prefix so
+// trace entries are recognizable next to result and checkpoint entries.
+func TwoLevelTraceKey(p TwoLevelParams, topo *topology.Cube, horizon sim.Time) string {
+	return fmt.Sprintf("trace|v%d|twolevel|tasks=%d|dur=%d|rate=%g|cyc=%d|sphere=%d/%g|spt=%d|on=%g/%d|off=%g/%d|jit=%g|seed=%d|k=%d|n=%d|torus=%t|h=%d",
+		tracestore.SchemaVersion,
+		p.AvgTasks, p.AvgTaskDuration, p.TotalRate, p.CyclePeriod,
+		p.SphereRadius, p.SphereProb, p.SourcesPerTask,
+		p.OnShape, p.OnLocation, p.OffShape, p.OffLocation,
+		p.RateJitter, p.Seed,
+		topo.K(), topo.N(), topo.Torus(), horizon)
+}
+
+// TwoLevelTraceEligible reports whether a workload fits the per-trace
+// budget — the same test SharedTwoLevelTrace applies — and, when it does
+// not, why. Callers use it to predict trace (and therefore tile)
+// eligibility without capturing anything.
+func TwoLevelTraceEligible(p TwoLevelParams, horizon sim.Time) (ok bool, reason string) {
+	if p.CyclePeriod <= 0 {
+		return false, "two-level cycle period is not positive"
+	}
+	cycles := float64(horizon) / float64(p.CyclePeriod)
+	if est := p.TotalRate * cycles; est > perTraceArrivalBudget {
+		return false, fmt.Sprintf("estimated %.0f arrivals exceed the %d-arrival per-trace budget", est, perTraceArrivalBudget)
+	}
+	return true, ""
+}
+
 // traceKey identifies one two-level workload: the full parameter set, the
-// topology shape, and the horizon (chains are armed against it).
+// topology shape, and the horizon.
 type traceKey struct {
 	p       TwoLevelParams
 	k, n    int
@@ -217,10 +331,11 @@ type traceKey struct {
 }
 
 // traceFlight is one singleflight slot: done closes when tr is ready.
-// tr stays nil when the model could not be built.
+// tr stays nil (and reason says why) when no trace could be produced.
 type traceFlight struct {
-	done chan struct{}
-	tr   *Trace
+	done   chan struct{}
+	tr     *Trace
+	reason string
 }
 
 var traceCache struct {
@@ -230,17 +345,17 @@ var traceCache struct {
 	total   int64      // arrivals across completed entries
 }
 
-// SharedTwoLevelTrace returns the memoized trace for a two-level workload,
-// capturing it on first use. Concurrent callers asking for the same key
-// share one capture (singleflight). It returns nil — caller should run the
-// live model — when the estimated trace size exceeds the per-trace budget.
-func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time) *Trace {
-	if p.CyclePeriod <= 0 {
-		return nil
-	}
-	cycles := float64(horizon) / float64(p.CyclePeriod)
-	if est := p.TotalRate * cycles; est > perTraceArrivalBudget {
-		return nil
+// SharedTwoLevelTrace returns the memoized trace for a two-level workload:
+// memory first, then the persistent store (decode, no simulation), then a
+// live capture — which is saved back to the store for every future
+// process. Concurrent callers asking for the same key share one
+// capture-or-load (singleflight). It returns a nil trace — caller should
+// run the live model — when the estimated trace size exceeds the per-trace
+// budget or the model cannot be built; reason then says why, in terms fit
+// for the harness's fallback note.
+func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time) (tr *Trace, reason string) {
+	if ok, why := TwoLevelTraceEligible(p, horizon); !ok {
+		return nil, why
 	}
 	key := traceKey{p: p, k: topo.K(), n: topo.N(), torus: topo.Torus(), horizon: horizon}
 
@@ -248,7 +363,7 @@ func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time
 	if f, ok := traceCache.entries[key]; ok {
 		traceCache.mu.Unlock()
 		<-f.done
-		return f.tr
+		return f.tr, f.reason
 	}
 	if traceCache.entries == nil {
 		traceCache.entries = make(map[traceKey]*traceFlight)
@@ -258,8 +373,23 @@ func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time
 	traceCache.order = append(traceCache.order, key)
 	traceCache.mu.Unlock()
 
-	if m, err := NewTwoLevel(p, topo); err == nil {
-		f.tr = Capture(m, horizon)
+	store := InstalledTraceStore()
+	if store != nil {
+		skey := TwoLevelTraceKey(p, topo, horizon)
+		if enc, ok := store.Load(skey); ok && enc.Horizon() == horizon {
+			f.tr = FromEncoded(enc)
+		}
+	}
+	if f.tr == nil {
+		if m, err := NewTwoLevel(p, topo); err == nil {
+			f.tr = Capture(m, horizon)
+			if store != nil {
+				// A failed save costs a future re-capture, nothing else.
+				_ = store.Save(TwoLevelTraceKey(p, topo, horizon), f.tr.enc)
+			}
+		} else {
+			f.reason = fmt.Sprintf("two-level model construction failed: %v", err)
+		}
 	}
 	traceCache.mu.Lock()
 	if f.tr != nil {
@@ -268,7 +398,7 @@ func SharedTwoLevelTrace(p TwoLevelParams, topo *topology.Cube, horizon sim.Time
 	evictTracesLocked(key)
 	traceCache.mu.Unlock()
 	close(f.done)
-	return f.tr
+	return f.tr, f.reason
 }
 
 // evictTracesLocked drops the oldest completed traces (never the one just
@@ -306,7 +436,8 @@ func evictTracesLocked(keep traceKey) {
 }
 
 // ResetTraceCache drops every memoized trace. Tests and benchmarks use it
-// to measure real capture work or to force live-model runs.
+// to measure real capture work or to force live-model runs. The persistent
+// store, if any, stays installed.
 func ResetTraceCache() {
 	traceCache.mu.Lock()
 	traceCache.entries = nil

@@ -4,8 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/runcache"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/traffic/tracestore"
 )
 
 func testTwoLevel(t *testing.T, rate float64, seed uint64) *TwoLevel {
@@ -113,29 +115,171 @@ func TestSharedTwoLevelTrace(t *testing.T) {
 	p.Seed = 9
 	horizon := 10 * sim.Microsecond
 
-	a := SharedTwoLevelTrace(p, topo, horizon)
+	a, reason := SharedTwoLevelTrace(p, topo, horizon)
 	if a == nil {
-		t.Fatal("trace under budget was not captured")
+		t.Fatalf("trace under budget was not captured: %s", reason)
 	}
-	if b := SharedTwoLevelTrace(p, topo, horizon); b != a {
+	if b, _ := SharedTwoLevelTrace(p, topo, horizon); b != a {
 		t.Error("second request did not share the cached trace")
 	}
 	p2 := p
 	p2.Seed = 10
-	if c := SharedTwoLevelTrace(p2, topo, horizon); c == a {
+	if c, _ := SharedTwoLevelTrace(p2, topo, horizon); c == a {
 		t.Error("distinct seed shared the same trace")
 	}
 
 	// A point whose estimated arrivals exceed the per-trace budget must
-	// decline (callers fall back to the live model).
+	// decline with a reason (callers fall back to the live model and the
+	// harness surfaces the reason on stderr).
 	big := NewTwoLevelParams(4.0)
-	if tr := SharedTwoLevelTrace(big, topo, sim.Time(perTraceArrivalBudget)*big.CyclePeriod); tr != nil {
+	tr, reason := SharedTwoLevelTrace(big, topo, sim.Time(perTraceArrivalBudget)*big.CyclePeriod)
+	if tr != nil {
 		t.Error("over-budget trace was captured")
+	}
+	if !strings.Contains(reason, "budget") {
+		t.Errorf("over-budget refusal reason %q does not name the budget", reason)
 	}
 
 	ResetTraceCache()
-	if b := SharedTwoLevelTrace(p, topo, horizon); b == a {
+	if b, _ := SharedTwoLevelTrace(p, topo, horizon); b == a {
 		t.Error("ResetTraceCache did not drop the cached trace")
+	}
+}
+
+// With a store installed, a workload captured once must reload from disk
+// after the in-memory cache is dropped — and replay the identical arrival
+// sequence.
+func TestSharedTraceStorePersistence(t *testing.T) {
+	rc, err := runcache.Open(t.TempDir(), runcache.Options{Fingerprint: "trace-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTraceStore(tracestore.NewStore(rc))
+	defer SetTraceStore(nil)
+	ResetTraceCache()
+	defer ResetTraceCache()
+
+	topo := topology.NewMesh2D(8)
+	p := NewTwoLevelParams(1.0)
+	p.Seed = 21
+	horizon := 10 * sim.Microsecond
+
+	a, reason := SharedTwoLevelTrace(p, topo, horizon)
+	if a == nil {
+		t.Fatalf("capture failed: %s", reason)
+	}
+	key := TwoLevelTraceKey(p, topo, horizon)
+	if !InstalledTraceStore().Contains(key) {
+		t.Fatal("captured trace not persisted under its key")
+	}
+
+	// Drop the memory layer; the next request must come from disk (puts
+	// stay flat), not a re-capture.
+	ResetTraceCache()
+	puts := rc.Stats().Puts
+	b, reason := SharedTwoLevelTrace(p, topo, horizon)
+	if b == nil {
+		t.Fatalf("store-backed reload failed: %s", reason)
+	}
+	if b == a {
+		t.Fatal("ResetTraceCache did not drop the memory layer")
+	}
+	if rc.Stats().Puts != puts {
+		t.Fatal("reload re-captured and re-saved instead of loading")
+	}
+	if a.Len() != b.Len() || a.Name() != b.Name() || a.Horizon() != b.Horizon() {
+		t.Fatalf("reloaded trace header differs: len %d/%d name %q/%q", a.Len(), b.Len(), a.Name(), b.Name())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("arrival %d differs after reload: %+v vs %+v", i, a.At(i), b.At(i))
+		}
+	}
+}
+
+// A decoded trace must replay event-for-event identically to the trace
+// that captured it — the byte-identity contract the store rests on —
+// across low, moderate, and saturating load.
+func TestCaptureVsDecodeReplayIdentity(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.3, 4.0} {
+		p := NewTwoLevelParams(rate)
+		p.Seed = 5
+		topo := topology.NewMesh2D(8)
+		m, err := NewTwoLevel(p, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 10 * sim.Microsecond
+		captured := Capture(m, horizon)
+
+		enc, err := tracestore.Decode(append([]byte(nil), captured.Encoded().Bytes()...))
+		if err != nil {
+			t.Fatalf("rate %g: decode: %v", rate, err)
+		}
+		decoded := FromEncoded(enc)
+
+		replaySeq := func(tr *Trace) []Arrival {
+			var sched sim.Scheduler
+			var got []Arrival
+			tr.Launch(&sched, horizon, func(src, dst int, at sim.Time, task int64) {
+				if sched.Now() != at {
+					t.Fatalf("rate %g: injection at scheduler time %v claims %v", rate, sched.Now(), at)
+				}
+				got = append(got, Arrival{At: at, Task: task, Src: int32(src), Dst: int32(dst)})
+			})
+			sched.RunUntil(horizon)
+			return got
+		}
+		a, b := replaySeq(captured), replaySeq(decoded)
+		if len(a) == 0 {
+			t.Fatalf("rate %g: empty capture", rate)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("rate %g: %d captured vs %d decoded injections", rate, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rate %g: injection %d differs: %+v vs %+v", rate, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// The filtered (per-tile) projection must also match between a captured
+// trace and its decoded twin.
+func TestCaptureVsDecodeFilteredIdentity(t *testing.T) {
+	p := NewTwoLevelParams(0.3)
+	p.Seed = 13
+	topo := topology.NewMesh2D(8)
+	m, err := NewTwoLevel(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * sim.Microsecond
+	captured := Capture(m, horizon)
+	enc, err := tracestore.Decode(captured.Encoded().Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := FromEncoded(enc)
+	keep := func(src int) bool { return src%2 == 0 }
+	run := func(tr *Trace) []Arrival {
+		var sched sim.Scheduler
+		var got []Arrival
+		tr.LaunchReplayFiltered(&sched, horizon, func(src, dst int, at sim.Time, task int64) {
+			got = append(got, Arrival{At: at, Task: task, Src: int32(src), Dst: int32(dst)})
+		}, keep)
+		sched.RunUntil(horizon)
+		return got
+	}
+	a, b := run(captured), run(decoded)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("filtered projections differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("filtered injection %d differs: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }
 

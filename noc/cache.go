@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 
 	"repro/internal/exp"
+	"repro/internal/traffic"
+	"repro/internal/traffic/tracestore"
 )
 
 // The persistent run cache stores finished simulation results on disk,
@@ -66,6 +68,51 @@ func (s CacheStats) HitRate() float64 {
 // EnableRunCache (all zero when no cache is enabled).
 func RunCacheStats() CacheStats {
 	st := exp.DiskCacheStats()
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+		CorruptDropped: st.CorruptDropped, Evictions: st.Evictions,
+		BytesRead: st.BytesRead, BytesWritten: st.BytesWritten,
+	}
+}
+
+// EnableTraceStore opens (creating if necessary) the persistent arrival-
+// trace store under cacheRoot's traces/ subdirectory and installs it: the
+// shared two-level trace lookup then goes memory -> disk -> live capture,
+// so a cold process decodes previously captured workloads instead of
+// re-simulating them. An empty cacheRoot selects DefaultRunCacheDir;
+// maxBytes <= 0 selects the trace default (2 GiB — traces are bulkier than
+// results, and the subdirectory keeps the two stores' eviction caps from
+// fighting over one directory). Like EnableRunCache, it requires a
+// VCS-stamped binary and returns an error (installing nothing) otherwise.
+//
+// The store is deliberately independent of the result cache: results are
+// byte-identical with the store on or off (traces decode to exactly the
+// captured sequence), so trace-store state appears in no result cache key
+// and -no-cache runs still benefit from warm traces.
+func EnableTraceStore(cacheRoot string, maxBytes int64) error {
+	if cacheRoot == "" {
+		cacheRoot = DefaultRunCacheDir()
+	}
+	s, err := tracestore.Open(tracestore.DefaultDir(cacheRoot), maxBytes)
+	if err != nil {
+		return err
+	}
+	traffic.SetTraceStore(s)
+	return nil
+}
+
+// DisableTraceStore removes the persistent trace store; traces then live
+// only in the in-process memo, exactly the pre-store behavior.
+func DisableTraceStore() { traffic.SetTraceStore(nil) }
+
+// TraceStoreStats reports the trace store's counters since EnableTraceStore
+// (all zero when no store is enabled).
+func TraceStoreStats() CacheStats {
+	s := traffic.InstalledTraceStore()
+	if s == nil {
+		return CacheStats{}
+	}
+	st := s.Stats()
 	return CacheStats{
 		Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
 		CorruptDropped: st.CorruptDropped, Evictions: st.Evictions,

@@ -47,6 +47,11 @@ func warmedKey(c Config, w TwoLevelWorkload, warmup, measure int64) (string, err
 }
 
 // twoLevelTrace captures the workload as a finite trace spanning the run.
+// Budget-eligible workloads go through the shared trace cache — memory,
+// then the persistent trace store when one is installed (EnableTraceStore),
+// then a live capture saved back for future processes. Oversized workloads
+// capture directly: a one-shot netsim run always replays a trace, budget
+// or not, so nothing changes semantically — only where the bytes come from.
 func twoLevelTrace(lowered network.Config, w TwoLevelWorkload, warmup, measure int64) (*traffic.Trace, sim.Time, error) {
 	p := traffic.NewTwoLevelParams(w.Rate)
 	if w.Tasks > 0 {
@@ -59,11 +64,15 @@ func twoLevelTrace(lowered network.Config, w TwoLevelWorkload, warmup, measure i
 	if p.Seed == 0 {
 		p.Seed = lowered.Seed
 	}
-	m, err := traffic.NewTwoLevel(p, topology.New(lowered.K, lowered.N, lowered.Torus))
+	topo := topology.New(lowered.K, lowered.N, lowered.Torus)
+	horizon := sim.Time(warmup+measure+1) * lowered.RouterPeriod
+	if tr, _ := traffic.SharedTwoLevelTrace(p, topo, horizon); tr != nil {
+		return tr, horizon, nil
+	}
+	m, err := traffic.NewTwoLevel(p, topo)
 	if err != nil {
 		return nil, 0, err
 	}
-	horizon := sim.Time(warmup+measure+1) * lowered.RouterPeriod
 	return traffic.Capture(m, horizon), horizon, nil
 }
 

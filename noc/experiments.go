@@ -71,11 +71,15 @@ func RunExperimentCSV(id string, o ExperimentOptions, w io.Writer) error {
 	return nil
 }
 
-// CachePrefetchEntry reports one persistent run-cache key a dry-run walk
-// consulted and whether it is present in the installed cache.
+// CachePrefetchEntry reports one persistent cache key a dry-run walk
+// consulted and whether it is present in the installed store. Kind is
+// "result" for run-cache keys and "trace" for arrival-trace-store keys
+// (the traces a cold-result-cache run would replay instead of
+// re-capturing).
 type CachePrefetchEntry struct {
-	Key string
-	Hit bool
+	Key  string
+	Hit  bool
+	Kind string
 }
 
 // PrefetchExperiments dry-runs the given experiments and reports every
@@ -89,7 +93,7 @@ func PrefetchExperiments(ids []string, o ExperimentOptions) ([]CachePrefetchEntr
 	}
 	out := make([]CachePrefetchEntry, len(entries))
 	for i, e := range entries {
-		out[i] = CachePrefetchEntry{Key: e.Key, Hit: e.Hit}
+		out[i] = CachePrefetchEntry{Key: e.Key, Hit: e.Hit, Kind: e.Kind}
 	}
 	return out, nil
 }
