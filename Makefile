@@ -10,8 +10,8 @@
 #   make bench   # end-to-end Step + tiled-core + run-cache +
 #                # checkpoint-sweep + trace-store + scheduler + packet-alloc
 #                # benchmarks; set BENCH_COUNT=10 for benchstat samples
-#   make bench-json # regenerate the committed BENCH_pr9.json trajectory
-#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr8.json
+#   make bench-json # regenerate the committed BENCH_pr10.json trajectory
+#   make bench-diff # bench-json + per-benchmark deltas vs BENCH_pr9.json
 #                # (the previous PR's committed baseline); fails on a >10%
 #                # ns/op or allocs/op regression
 #   make golden  # regenerate testdata/golden after an intentional change
@@ -82,10 +82,10 @@ bench:
 	$(GO) test ./internal/flow -run xxx -bench BenchmarkPacketAlloc -benchmem -count=$(BENCH_COUNT)
 
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json
 
 bench-diff:
-	$(GO) run ./cmd/benchjson -out BENCH_pr9.json -baseline BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json -baseline BENCH_pr9.json
 
 golden:
 	$(GO) test ./internal/exp -run TestGoldenFigures -update

@@ -6,11 +6,11 @@
 // open, plus the scheduler and packet-alloc micro-benchmarks — and writes
 // the results as machine-readable JSON.
 //
-//	benchjson -out BENCH_pr9.json
-//	benchjson -baseline BENCH_pr8.json                     # run, then diff
-//	benchjson -in BENCH_pr9.json -baseline BENCH_pr8.json  # diff two files
+//	benchjson -out BENCH_pr10.json
+//	benchjson -baseline BENCH_pr9.json                      # run, then diff
+//	benchjson -in BENCH_pr10.json -baseline BENCH_pr9.json  # diff two files
 //
-// The committed BENCH_pr9.json pins this PR's measured curve so future
+// The committed BENCH_pr10.json pins this PR's measured curve so future
 // changes can diff against it; `make bench-json` regenerates it.
 //
 // With -baseline, a per-benchmark delta table (ns/op and allocs/op) is
@@ -47,6 +47,12 @@ type result struct {
 	// WarmupCyclesPerOp is the warmup work one sweep iteration simulated;
 	// only the Sweep benchmarks report it.
 	WarmupCyclesPerOp float64 `json:"warmup_cycles_per_op,omitempty"`
+	// BarriersPerCycle and BarrierElisionFrac are the tiled engine's merge
+	// cadence over the timed region (1.0 was the pre-extraction fixed
+	// cadence) and the fraction of planned windows whose merge was elided;
+	// only the multi-tile Step benchmarks report them.
+	BarriersPerCycle   float64 `json:"barriers_per_cycle,omitempty"`
+	BarrierElisionFrac float64 `json:"barrier_elision_frac,omitempty"`
 }
 
 // report is the file schema.
@@ -76,6 +82,12 @@ type summary struct {
 	// degenerated to a single tile over the single-scheduler saturation
 	// point — the acceptance bound for the tiled bookkeeping (<= 5%).
 	TileOverheadFrac float64 `json:"tile_overhead_frac,omitempty"`
+	// SatBarriersPerCycle is the two-tile merge cadence at saturation
+	// (StepTiled2Extracted); BarrierElisionFrac is the fraction of planned
+	// windows elided at low load (StepTiled2LowLoad). Together they pin
+	// what extracted lookahead bought over the barrier-every-cycle engine.
+	SatBarriersPerCycle float64 `json:"sat_barriers_per_cycle,omitempty"`
+	BarrierElisionFrac  float64 `json:"barrier_elision_frac,omitempty"`
 	// TraceStoreSpeedupX is how much faster a workload's arrival sequence
 	// decodes and replays from its trace-store encoding than the live
 	// model re-captures it.
@@ -95,11 +107,14 @@ const summaryNote = "low_load_speedup_x compares against -noskip in the same bin
 	"against every point warming up itself, also on the tiny budget (real budgets widen " +
 	"it, since the shared warmup amortizes over the same six settings at any length); " +
 	"tile_overhead_frac compares the tiled engine at one tile against the " +
-	"single-scheduler saturation point (StepTiled2/4 meter barrier cost — on a " +
-	"single-CPU host they cannot win wall clock); " +
+	"single-scheduler saturation point (StepTiled2/4Extracted meter window-planning and " +
+	"merge cost under extracted lookahead — on a single-CPU host they cannot win wall " +
+	"clock); sat_barriers_per_cycle and barrier_elision_frac pin the merge cadence the " +
+	"extraction achieves at saturation and the window fraction elision skips at low load " +
+	"(the pre-extraction engine merged every cycle at every load); " +
 	"trace_store_speedup_x compares decoding and replaying a stored arrival trace " +
 	"against re-capturing the same workload from the live two-level model; " +
-	"diff against the committed BENCH_pr8.json (benchjson -baseline BENCH_pr8.json) for " +
+	"diff against the committed BENCH_pr9.json (benchjson -baseline BENCH_pr9.json) for " +
 	"the cross-PR trajectory."
 
 // regressionThreshold is the fractional slowdown (ns/op) or allocation
@@ -110,14 +125,16 @@ func measure(name string, fn func(b *testing.B)) result {
 	r := testing.Benchmark(fn)
 	fmt.Fprintf(os.Stderr, "%-24s %s %s\n", name, r.String(), r.MemString())
 	return result{
-		Name:              name,
-		Iterations:        r.N,
-		NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp:       r.AllocsPerOp(),
-		BytesPerOp:        r.AllocedBytesPerOp(),
-		CyclesPerSec:      r.Extra["cycles/sec"],
-		ElisionRatio:      r.Extra["elision-ratio"],
-		WarmupCyclesPerOp: r.Extra["warmup-cycles/op"],
+		Name:               name,
+		Iterations:         r.N,
+		NsPerOp:            float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:        r.AllocsPerOp(),
+		BytesPerOp:         r.AllocedBytesPerOp(),
+		CyclesPerSec:       r.Extra["cycles/sec"],
+		ElisionRatio:       r.Extra["elision-ratio"],
+		WarmupCyclesPerOp:  r.Extra["warmup-cycles/op"],
+		BarriersPerCycle:   r.Extra["barriers/cycle"],
+		BarrierElisionFrac: r.Extra["barrier-elision-frac"],
 	}
 }
 
@@ -128,8 +145,9 @@ func runAll() []result {
 		measure("StepSaturation", func(b *testing.B) { bench.Step(b, bench.SaturationRate, false) }),
 		measure("StepSaturationNoSkip", func(b *testing.B) { bench.Step(b, bench.SaturationRate, true) }),
 		measure("StepTiled1", func(b *testing.B) { bench.StepTiled(b, 1) }),
-		measure("StepTiled2", func(b *testing.B) { bench.StepTiled(b, 2) }),
-		measure("StepTiled4", func(b *testing.B) { bench.StepTiled(b, 4) }),
+		measure("StepTiled2Extracted", func(b *testing.B) { bench.StepTiled(b, 2) }),
+		measure("StepTiled4Extracted", func(b *testing.B) { bench.StepTiled(b, 4) }),
+		measure("StepTiled2LowLoad", func(b *testing.B) { bench.StepTiledRate(b, bench.LowLoadRate, 2) }),
 		measure("RunAllColdCache", func(b *testing.B) { bench.FiguresRunAll(b, false) }),
 		measure("RunAllWarmCache", func(b *testing.B) { bench.FiguresRunAll(b, true) }),
 		measure("SweepStraight", func(b *testing.B) { bench.Sweep(b, true) }),
@@ -220,7 +238,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_pr10.json", "output file (- for stdout)")
 	in := flag.String("in", "", "read results from this report instead of running benchmarks")
 	baseline := flag.String("baseline", "", "diff results against this report; exit 1 on >10% regression")
 	flag.Parse()
@@ -262,14 +280,17 @@ func main() {
 	if tiled, flat := byName["StepTiled1"], byName["StepSaturation"]; flat.NsPerOp > 0 && tiled.NsPerOp > 0 {
 		rep.Summary.TileOverheadFrac = tiled.NsPerOp/flat.NsPerOp - 1
 	}
+	rep.Summary.SatBarriersPerCycle = byName["StepTiled2Extracted"].BarriersPerCycle
+	rep.Summary.BarrierElisionFrac = byName["StepTiled2LowLoad"].BarrierElisionFrac
 	if warm, cold := byName["TraceDecodeWarm"], byName["TraceCaptureCold"]; warm.NsPerOp > 0 {
 		rep.Summary.TraceStoreSpeedupX = cold.NsPerOp / warm.NsPerOp
 	}
 	rep.Summary.Note = summaryNote
-	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx, tile overhead %+.1f%%, trace-store speedup %.2fx\n",
+	fmt.Fprintf(os.Stderr, "low-load speedup %.2fx, saturation overhead %+.1f%%, warm-cache speedup %.2fx, checkpoint speedup %.2fx, tile overhead %+.1f%%, sat barriers/cycle %.4f, low-load elision %.0f%%, trace-store speedup %.2fx\n",
 		rep.Summary.LowLoadSpeedupX, 100*rep.Summary.SaturationOverheadFrac,
 		rep.Summary.WarmCacheSpeedupX, rep.Summary.CheckpointSpeedupX,
-		100*rep.Summary.TileOverheadFrac, rep.Summary.TraceStoreSpeedupX)
+		100*rep.Summary.TileOverheadFrac, rep.Summary.SatBarriersPerCycle,
+		100*rep.Summary.BarrierElisionFrac, rep.Summary.TraceStoreSpeedupX)
 
 	if *in == "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

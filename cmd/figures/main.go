@@ -188,4 +188,11 @@ func printCacheStats() {
 		"tracestore: hits=%d misses=%d puts=%d corrupt=%d evictions=%d read=%dB written=%dB hit-rate=%.2f\n",
 		t.Hits, t.Misses, t.Puts, t.CorruptDropped, t.Evictions,
 		t.BytesRead, t.BytesWritten, t.HitRate())
+	// Only tiled recomputes plan windows, so this line appears exactly when
+	// -tiles > 1 did real simulation work (cache hits contribute nothing).
+	if tb := noc.ExperimentTileBarrierStats(); tb.Windows > 0 {
+		fmt.Fprintf(os.Stderr,
+			"tilebarriers: windows=%d merges=%d elided=%d elision-frac=%.2f\n",
+			tb.Windows, tb.Barriers, tb.Elided, float64(tb.Elided)/float64(tb.Windows))
+	}
 }

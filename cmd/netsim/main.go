@@ -145,8 +145,11 @@ func main() {
 	if cacheable {
 		// Tile count never changes output bytes, so it is deliberately
 		// neutralized in the key: -tiles variants share one cache entry.
+		// VerifyLookahead is a speed-only debug check, neutralized for the
+		// same reason.
 		keyCfg := cfg
 		keyCfg.Tiles = 0
+		keyCfg.VerifyLookahead = false
 		cfgJSON, err := json.Marshal(keyCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
@@ -309,6 +312,18 @@ func printSkipStats(s noc.SkipStats) {
 	}
 	fmt.Printf("active     : %d/%d/%d routers per stepped cycle (p50/p90/max)\n",
 		histQuantile(s.ActiveHist, 0.50), histQuantile(s.ActiveHist, 0.90), histMax(s.ActiveHist))
+	if s.TileWindows > 0 {
+		cycles := s.CyclesExecuted + s.CyclesFastForwarded
+		var perCycle, elided float64
+		if cycles > 0 {
+			perCycle = float64(s.TileBarriers) / float64(cycles)
+		}
+		if s.TileWindows > 0 {
+			elided = float64(s.TileBarriersElided) / float64(s.TileWindows)
+		}
+		fmt.Printf("barriers   : %d windows, %d merges (%.4f/cycle), %d elided (%.1f%%)\n",
+			s.TileWindows, s.TileBarriers, perCycle, s.TileBarriersElided, 100*elided)
+	}
 }
 
 // histQuantile reports the smallest active-router count whose cumulative

@@ -32,6 +32,28 @@ var warmupCycles atomic.Int64
 // process. Tests diff it around sweeps.
 func WarmupCyclesExecuted() int64 { return warmupCycles.Load() }
 
+// Tile-parallel barrier accounting, accumulated process-wide across every
+// tiled point simulate runs. Cache hits contribute nothing (no simulation
+// happened), so figures can report how much merge traffic the extracted
+// lookahead actually avoided on recomputes.
+var tileWindows, tileBarriers, tileBarriersElided atomic.Int64
+
+// TileBarrierCounters summarizes the tiled runs this process executed:
+// planned windows, actual cross-tile merges, and merges elided because no
+// cross-tile traffic was pending. All zero when no tiled point simulated.
+type TileBarrierCounters struct {
+	Windows, Barriers, Elided int64
+}
+
+// TileBarrierStats reports the process-wide tiled barrier counters.
+func TileBarrierStats() TileBarrierCounters {
+	return TileBarrierCounters{
+		Windows:  tileWindows.Load(),
+		Barriers: tileBarriers.Load(),
+		Elided:   tileBarriersElided.Load(),
+	}
+}
+
 // warmSnap is one warm-key cache slot: the captured warmed-up state and
 // the trace it ran under (forks re-attach the same trace; the snapshot
 // itself carries only the replay's progress). Both nil when the point
@@ -86,6 +108,12 @@ func simulate(s spec, o Options) network.Results {
 	n.SetDVSHold(false)
 	n.BeginMeasurement()
 	n.Run(meas)
+	if n.Tiled() {
+		st := n.SkipStats()
+		tileWindows.Add(st.TileWindows)
+		tileBarriers.Add(st.TileBarriers)
+		tileBarriersElided.Add(st.TileBarriersElided)
+	}
 	return n.Snapshot()
 }
 

@@ -108,6 +108,14 @@ type Config struct {
 	// the harness naming the point and reason.
 	Tiles int
 
+	// VerifyLookahead cross-checks the tile engine's extracted lookahead: at
+	// every barrier merge, each cross-tile message's due cycle is compared
+	// against the bound its source tile promised when the window was
+	// planned, and violations are counted (LookaheadViolations). The same
+	// check runs under Audit. A test knob — verification never changes
+	// output bytes, only adds the per-message comparison.
+	VerifyLookahead bool
+
 	// Audit configures the runtime invariant checker (internal/audit).
 	// Disabled by default; when Audit.Enabled, the platform verifies flit
 	// and credit conservation, VC state-machine legality, DVS link
@@ -346,13 +354,34 @@ type Network struct {
 
 	// Tile-parallel state (tile.go). tiles is non-nil when Cfg.Tiles > 1:
 	// each tile owns a contiguous block of routers and advances on its own
-	// scheduler between conservative lookahead barriers. tileOf maps a
-	// node to its owning tile; lookahead is the barrier window in router
-	// cycles (the minimum link latency).
+	// scheduler between extracted-lookahead barriers. tileOf maps a node to
+	// its owning tile; lookahead is the constant floor of the per-window
+	// extracted bound in router cycles (the minimum link latency).
 	tiles     []*tileState
 	tileOf    []int
 	lookahead int64
+	// tileMerged is the merge frontier: every cycle before it has been
+	// drained into the global accumulators. Barrier elision lets the tiles'
+	// cycle run ahead of it; mergeTiles closes the gap.
+	tileMerged int64
+	// forceTileWorkers pins the per-tile worker-goroutine path even on a
+	// single-CPU host (where runTiled otherwise runs tiles inline, barriers
+	// being pure overhead without a second core). Test hook: the race
+	// detector must exercise the concurrent path regardless of GOMAXPROCS.
+	forceTileWorkers bool
+	// noTileElide disables barrier elision (every window ends in a merge);
+	// test hook for the elision-equivalence suite.
+	noTileElide bool
+	// laViolations counts cross-tile messages that arrived before their
+	// source tile's promised lookahead bound — always zero unless the bound
+	// extraction is wrong. Counted under Cfg.VerifyLookahead or Audit.
+	laViolations int64
 }
+
+// LookaheadViolations reports cross-tile messages observed before their
+// source tile's promised bound. Populated only under Config.VerifyLookahead
+// or a running audit; any nonzero value is a lookahead-extraction bug.
+func (n *Network) LookaheadViolations() int64 { return n.laViolations }
 
 // slowEntry is one scheduler-fallback message: a flit arrival when in is
 // non-nil, otherwise a credit return. at/seq are the pending event's
@@ -384,6 +413,14 @@ type SkipStats struct {
 	RouterTicksElided int64
 	// ActiveHist[k] counts executed cycles that ticked exactly k routers.
 	ActiveHist []int64
+	// Tile-parallel barrier accounting (zero on untiled networks).
+	// TileWindows counts planned lookahead windows; TileBarriers counts the
+	// windows that ended in a real merge (outbox drain + accumulator
+	// replay); TileBarriersElided counts the merges skipped because every
+	// cross-tile outbox was empty and no probe or audit scan forced one.
+	TileWindows        int64
+	TileBarriers       int64
+	TileBarriersElided int64
 }
 
 // ElisionRatio reports the fraction of baseline router ticks skipped.

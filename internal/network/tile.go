@@ -1,56 +1,89 @@
 // Intra-run tile parallelism: the mesh is partitioned into contiguous
-// blocks of routers ("tiles"), each advanced by its own scheduler, with a
-// conservative lookahead barrier every W cycles, where W is the minimum
-// link latency in router cycles (ceil of the top-level link period over the
-// router period — 1 with the paper's table, so barriers are per cycle).
+// blocks of routers ("tiles"), each advanced by its own scheduler, in
+// conservative lookahead windows that meet at merge points. The window
+// length is extracted per window from live occupancy — the directed hop
+// distance from the nearest buffered or injector-pending flit to a tile
+// boundary, the ready/serializer state of queued link transmissions, and
+// the horizons of pending ring and scheduler messages (see bound) — and
+// never falls below the constant floor W = ceil(topLinkPeriod/routerPeriod)
+// the engine used before PR 10 (1 with the paper's table, which forced a
+// barrier every router cycle). A window end that finds every cross-tile
+// outbox empty elides the merge entirely: deliveries, counters and tick
+// logs keep accumulating until the next real merge (bounded by
+// maxTileWindow), while policy windows, probes and audit scans still run
+// at their exact cycles.
 //
 // Why the output is byte-identical to the sequential core:
 //
 //   - Isolation inside a window. Every cross-tile interaction is a flit
-//     arrival or a credit return, and both are delayed by at least one link
-//     serialization period, i.e. at least W router cycles. A message
-//     generated at cycle t >= w0 is therefore due at cycle t+W >= w0+W — at
-//     or after the barrier — so no event inside a window [w0, w0+W) can
-//     observe another tile's activity in the same window. Tiles advance
-//     their cycles independently and meet only at barriers.
-//   - Canonical cross-tile delivery. Outboxed messages drain at the
-//     barrier in (source tile, generation order) into the destination
-//     tile's delay ring, bucketed by due cycle. Within one ring bucket the
-//     sequential core's order is immaterial: a link serializer spaces
-//     consecutive sends at least one period apart, so at most one flit
-//     lands per input port per cycle (arrivals to distinct ports commute),
-//     and credit returns are counter increments that commute per (port,
-//     VC); drainRing applies all arrivals before all credits in both
-//     engines.
+//     arrival or a credit return. The planner ends a window at e no later
+//     than every tile's promised bound — a conservative earliest possible
+//     cross-tile effect computed from the tile's own state at the window
+//     start — or at the intrinsically safe single-cycle window w0+1 (any
+//     cross-tile message is delayed by at least one top-level link period,
+//     i.e. at least one router cycle). A message generated inside [w0, e)
+//     is therefore due at or after e, so no event inside a window can
+//     observe another tile's activity in the same window. Every merge
+//     re-checks the hard invariant due >= e, and under Config.VerifyLookahead
+//     or an audit each merged message is also checked against the bound its
+//     source tile promised when the window was planned (LookaheadViolations).
+//   - Canonical cross-tile delivery. Outboxed messages drain at the merge
+//     in (source tile, generation order) into the destination tile's delay
+//     ring, bucketed by due cycle. Merges happen no later than any
+//     outboxed message's due cycle (a window end with a non-empty outbox
+//     always merges), so messages land in the ring before the cycle that
+//     delivers them. Within one ring bucket the sequential core's order is
+//     immaterial: a link serializer spaces consecutive sends at least one
+//     period apart, so at most one flit lands per input port per cycle
+//     (arrivals to distinct ports commute), and credit returns are counter
+//     increments that commute per (port, VC); drainRing applies all
+//     arrivals before all credits in both engines.
 //   - Deterministic accumulator merge. The only order-sensitive global
 //     accumulator is the latency stream (Welford moments). Tiles buffer
-//     deliveries and the barrier replays them in (cycle, tile) order —
+//     deliveries and the merge replays them in (cycle, tile) order —
 //     which equals the sequential engine's (cycle, ascending node) order,
 //     because tiles own ascending contiguous node ranges and each tile's
-//     eject phase walks its routers in ascending order. Integer counters
-//     (injected, delivered, InFlight, skip stats) merge additively.
+//     eject phase walks its routers in ascending order. Elision only defers
+//     the replay; the buffered (cycle, tile) keys are unchanged. Integer
+//     counters (injected, delivered, InFlight) merge additively.
 //   - Synchronized global machinery. DVS policy windows, probes and audit
-//     scans run at barriers on the single coordinating goroutine: windows
-//     are clamped so a barrier lands exactly on every policy/probe/scan
-//     boundary, with the same cycle number and simulation instant as the
-//     sequential Step. Links schedule their transition events on their
-//     owning tile's scheduler, so completions fire at identical instants.
+//     scans run at window ends on the single coordinating goroutine:
+//     windows are clamped so an end lands exactly on every policy/probe/
+//     scan boundary, with the same cycle number and simulation instant as
+//     the sequential Step. Policy edges do not force a merge — runPolicies
+//     reads only per-link and per-port state, all tile-owned and settled at
+//     the window end. Probe ticks and audit scans do force one: probes read
+//     the global accumulators and scans walk every ledger.
 //   - Packet identity. Each tile draws packet IDs from a disjoint space
 //     (tile index in the high bits). IDs differ from the sequential run's
 //     but are semantically inert: allocation arbiters are positional, and
 //     no result, statistic or golden artifact carries an ID.
 //
-// Audited runs execute tiles sequentially on the coordinating goroutine
-// (the audit checker's ledgers are single-threaded maps); results are
-// identical either way, so the audit still proves the tiled datapath.
-// Checkpoint capture refuses tiled networks (see CaptureCheckpoint): the
-// experiment harness runs tiled points on the straight warmup path, which
-// PR 7's conformance suite proved byte-identical to the forked one.
+// The skip statistics are the one place the tiled engine's internal
+// accounting diverges from the sequential core's: a tile that is locally
+// idle inside a window jumps straight to its next scheduler event,
+// recording zero-tick executed cycles where the sequential engine would
+// have fast-forwarded globally. The totals still balance (executed +
+// fast-forwarded cycles, ticks + elided ticks), and no golden artifact or
+// equivalence check reads the split.
+//
+// Unaudited windows run on one persistent worker goroutine per tile when
+// more than one CPU is available (or when forceTileWorkers pins the
+// concurrent path for the race detector); on a single-CPU host the tiles
+// run inline on the coordinator, where worker channel hops would be pure
+// overhead. Audited runs always execute tiles sequentially on the
+// coordinating goroutine (the audit checker's ledgers are single-threaded
+// maps); results are identical either way, so the audit still proves the
+// tiled datapath. Checkpoint capture refuses tiled networks (see
+// CaptureCheckpoint): the experiment harness runs tiled points on the
+// straight warmup path, which PR 7's conformance suite proved
+// byte-identical to the forked one.
 package network
 
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"repro/internal/audit"
 	"repro/internal/flow"
@@ -61,8 +94,20 @@ import (
 	"repro/internal/traffic"
 )
 
+const (
+	// maxTileWindow caps both the planned window length and the merge
+	// deferral span, bounding the deliveries/tick-log buffers a tile can
+	// accumulate before a merge is forced.
+	maxTileWindow = 4096
+	// farDist marks a router with no directed intra-tile path to a
+	// boundary router; its flits can never cross on their own.
+	farDist = 1 << 20
+	// farFuture is an effectively infinite hazard horizon.
+	farFuture = int64(1) << 62
+)
+
 // tileMsg is one cross-tile message parked in an outbox until the next
-// barrier: a flit arrival when in is non-nil, otherwise a credit return.
+// merge: a flit arrival when in is non-nil, otherwise a credit return.
 type tileMsg struct {
 	at   sim.Time
 	node int // arrival destination router; -1 for credits
@@ -72,11 +117,17 @@ type tileMsg struct {
 	vc   int
 }
 
-// tileDelivery is one delivered packet buffered for the barrier's ordered
+// tileDelivery is one delivered packet buffered for the merge's ordered
 // replay into the global latency/throughput accumulators.
 type tileDelivery struct {
 	cycle int64
 	p     *flow.Packet
+}
+
+// borderPort names one tile-owned input port fed by a cross-tile channel:
+// a flit departing it owes a credit to another tile one link period later.
+type borderPort struct {
+	node, port int
 }
 
 // tileState is one tile: a contiguous block of routers [lo, hi) with its
@@ -105,14 +156,40 @@ type tileState struct {
 	injMask     []uint64
 	injCount    int
 
+	// Boundary geometry, fixed at construction (one BFS per tile).
+	// distB[nd] is the directed hop distance from router nd to the nearest
+	// router with a cross-tile output channel (farDist when no path);
+	// nbrD[nd*ports+p] is that distance for the neighbor behind intra-tile
+	// port p of nd, -1 for a cross-tile (or unconnected) port; borderIn
+	// lists the tile's input ports fed by other tiles; noBorder marks a
+	// tile with no cross-tile channel in either direction; pipeC is the
+	// minimum router pipeline traversal in cycles.
+	distB    []int32
+	nbrD     []int32
+	borderIn []borderPort
+	noBorder bool
+	pipeC    int64
+
+	// Extracted-lookahead state. ringMin/crossRingMin are conservative
+	// hazard horizons of the intra-tile and merged cross-tile messages
+	// sitting in the delay ring (monotone non-increasing until the ring
+	// empties; stale-low values only shorten windows). promised is the
+	// bound computed at the end of the last window (covering the next
+	// one); pledge is the promise that covered the window just run — the
+	// bound its outboxed messages are verified against.
+	ringMin      int64
+	crossRingMin int64
+	promised     int64
+	pledge       int64
+
 	// outbox[d] holds messages bound for tile d, in generation order.
 	outbox [][]tileMsg
 	// deliveries buffers delivered packets (nondecreasing cycle order) for
-	// the barrier replay; delIdx is the replay cursor.
+	// the merge replay; delIdx is the replay cursor.
 	deliveries []tileDelivery
 	delIdx     int
-	// ticked[i] is the number of routers ticked in the window's i-th
-	// cycle, merged into the global skip stats at the barrier.
+	// ticked[i] is the number of routers ticked in the i-th cycle past the
+	// merge frontier, merged into the global skip stats at the next merge.
 	ticked []int
 
 	injected      int64
@@ -120,8 +197,8 @@ type tileState struct {
 }
 
 // initTiles builds the tile partition: count contiguous blocks of
-// ceil(nodes/count) routers, and the lookahead window from the minimum
-// link latency.
+// ceil(nodes/count) routers, the lookahead floor from the minimum link
+// latency, and the per-tile boundary geometry the window planner reads.
 func (n *Network) initTiles(count int) {
 	nodes := n.Topo.Nodes()
 	words := (nodes + 63) / 64
@@ -155,12 +232,80 @@ func (n *Network) initTiles(count int) {
 		n.tiles = append(n.tiles, t)
 	}
 	// The minimum cross-tile delay is one top-level link period (the
-	// fastest serialization and the fastest credit return); the window is
-	// its span in router cycles, at least one.
+	// fastest serialization and the fastest credit return); the window
+	// floor is its span in router cycles, at least one.
 	p := n.Cfg.RouterPeriod
 	n.lookahead = int64((n.Table.Period[n.Table.Top()] + p - 1) / p)
 	if n.lookahead < 1 {
 		n.lookahead = 1
+	}
+	n.initTileGeometry(count)
+}
+
+// initTileGeometry precomputes the boundary-distance data behind the
+// extracted lookahead: one reverse BFS per tile from its boundary-source
+// routers over the intra-tile channels (so distB is the directed flit
+// distance *to* a boundary), the per-port neighbor distances, and the
+// border-fed input port lists. Runs before links exist — only the
+// topology is needed.
+func (n *Network) initTileGeometry(count int) {
+	nodes := n.Topo.Nodes()
+	ports := n.Cfg.Router.Ports
+	pipeC := int64(n.Cfg.Router.PipelineDepth - 3) // traverse latency; depth >= 4 validated
+	for _, t := range n.tiles {
+		t.pipeC = pipeC
+		t.ringMin, t.crossRingMin = farFuture, farFuture
+		t.distB = make([]int32, nodes)
+		for i := range t.distB {
+			t.distB[i] = farDist
+		}
+		t.nbrD = make([]int32, nodes*ports)
+		for i := range t.nbrD {
+			t.nbrD[i] = -1
+		}
+	}
+	// Reverse intra-tile adjacency (channel predecessors), and the
+	// cross-channel endpoints: sources seed the BFS at distance zero,
+	// destinations contribute border-fed input ports.
+	radj := make([][]int32, nodes)
+	hasCross := make([]bool, count)
+	for _, ch := range n.Topo.Channels() {
+		st, dt := n.tileOf[ch.Src], n.tileOf[ch.Dst]
+		if st == dt {
+			radj[ch.Dst] = append(radj[ch.Dst], int32(ch.Src))
+			continue
+		}
+		hasCross[st] = true
+		n.tiles[st].distB[ch.Src] = 0
+		n.tiles[dt].borderIn = append(n.tiles[dt].borderIn,
+			borderPort{node: ch.Dst, port: n.Topo.PortFor(ch.Dim, 1-ch.Dir)})
+	}
+	var queue []int32
+	for _, t := range n.tiles {
+		t.noBorder = !hasCross[t.id] && len(t.borderIn) == 0
+		queue = queue[:0]
+		for nd := t.lo; nd < t.hi; nd++ {
+			if t.distB[nd] == 0 {
+				queue = append(queue, int32(nd))
+			}
+		}
+		for len(queue) > 0 {
+			nd := queue[0]
+			queue = queue[1:]
+			d := t.distB[nd] + 1
+			for _, pr := range radj[nd] {
+				if t.distB[pr] > d {
+					t.distB[pr] = d
+					queue = append(queue, pr)
+				}
+			}
+		}
+	}
+	for _, ch := range n.Topo.Channels() {
+		if st := n.tileOf[ch.Src]; st == n.tileOf[ch.Dst] {
+			t := n.tiles[st]
+			t.nbrD[ch.Src*ports+n.Topo.PortFor(ch.Dim, ch.Dir)] = t.distB[ch.Dst]
+		}
 	}
 }
 
@@ -197,7 +342,7 @@ func (t *tileState) markInject(node int) {
 
 // inject is the tile's traffic.Injector: Network.Inject restricted to the
 // tile's sources, drawing IDs from the tile's disjoint space and deferring
-// the global counters to the barrier merge.
+// the global counters to the merge.
 func (t *tileState) inject(src, dst int, now sim.Time, task int64) {
 	if src == dst {
 		return
@@ -225,8 +370,8 @@ func (t *tileState) slowDrop(e *slowEntry) {
 }
 
 // enqueueArrival mirrors Network.enqueueArrival on the tile's ring and
-// scheduler. Only intra-tile messages come here; cross-tile ones go
-// through the outbox.
+// scheduler, folding the arrival's boundary hazard into ringMin. Only
+// intra-tile messages come here; cross-tile ones go through the outbox.
 func (t *tileState) enqueueArrival(node int, in *router.InputPort, f *flow.Flit, at sim.Time) {
 	due := t.n.dueCycle(at)
 	if due-t.cycle >= ringSize {
@@ -242,9 +387,16 @@ func (t *tileState) enqueueArrival(node int, in *router.InputPort, f *flow.Flit,
 	b := &t.ring[due%ringSize]
 	b.arrivals = append(b.arrivals, arrivalMsg{in: in, flit: f, node: node})
 	t.ringCount++
+	if d := t.distB[node]; d < farDist {
+		if h := due + (t.pipeC+t.n.lookahead)*int64(d+1); h < t.ringMin {
+			t.ringMin = h
+		}
+	}
 }
 
-// enqueueCredit mirrors Network.enqueueCredit on the tile's ring.
+// enqueueCredit mirrors Network.enqueueCredit on the tile's ring. Credits
+// carry no boundary hazard of their own: they only unblock buffered flits,
+// which the bound already counts at their positions.
 func (t *tileState) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	due := t.n.dueCycle(at)
 	if due-t.cycle >= ringSize {
@@ -261,19 +413,164 @@ func (t *tileState) enqueueCredit(out *router.OutputPort, vc int, at sim.Time) {
 	t.ringCount++
 }
 
-// runTo advances the tile to cycle e, one step per cycle. This is the loop
-// each tile worker runs between barriers; it touches only tile-owned state
+// bound computes a conservative earliest cycle at which the tile's state
+// at window start w0 could produce a cross-tile effect — a flit arrival in
+// another tile or a credit return to one. Hazard sources, each a provable
+// lower bound on its earliest boundary crossing:
+//
+//   - An occupied border-fed input port: a flit may depart it this cycle,
+//     owing the upstream tile a credit one link period later (>= the
+//     top-level period, i.e. >= lookahead cycles). This is the only hazard
+//     that can reach the floor w0+lookahead, so it short-circuits.
+//   - A queued link transmission: the front entry cannot send before its
+//     pipeline ready instant and the serializer's earliest next send
+//     (DVSLink.EarliestSend; voltage/frequency transitions only delay).
+//     On a cross-tile port the arrival lands one link period later; on an
+//     intra-tile port the flit still has nbrD+1 hops to a boundary, each
+//     at least one pipeline traversal plus one top-period link crossing.
+//   - A buffered or injector-pending flit at distance d: it cannot cross
+//     before d+1 full hops, pipeC+lookahead cycles each.
+//   - A pending scheduler event (replay injection, slow-path message, DVS
+//     completion): nothing lands at a router before the event's due cycle,
+//     and a boundary crossing needs at least one traversal plus one link
+//     period after that.
+//   - Ring messages: ringMin (intra arrivals, folded in by enqueueArrival)
+//     and crossRingMin (merged cross arrivals, folded in by mergeTiles).
+//
+// Credits never create hazards directly: link transmission needs no
+// credits, and a credit only unblocks buffered flits that the positional
+// term already counts as immediately movable. The result is clamped to
+// [w0+lookahead, w0+maxTileWindow] — never below the constant floor the
+// pre-extraction engine used.
+func (t *tileState) bound(w0 int64) int64 {
+	n := t.n
+	la := n.lookahead
+	floor := w0 + la
+	best := w0 + maxTileWindow
+	if t.noBorder {
+		return best
+	}
+	for _, bp := range t.borderIn {
+		if n.Routers[bp.node].Inputs[bp.port].Occupied() > 0 {
+			return floor
+		}
+	}
+	if t.ringCount == 0 {
+		t.ringMin, t.crossRingMin = farFuture, farFuture
+	} else {
+		if t.ringMin < best {
+			best = t.ringMin
+		}
+		if t.crossRingMin < best {
+			best = t.crossRingMin
+		}
+	}
+	if t.sched.Pending() > 0 {
+		if h := n.dueCycle(t.sched.PeekTime()) + t.pipeC + la; h < best {
+			best = h
+		}
+	}
+	hop := t.pipeC + la
+	ports := n.Cfg.Router.Ports
+	minD := int32(farDist)
+	for w, word := range t.activeMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := n.Routers[node]
+			if r.BufferedFlits() > 0 && t.distB[node] < minD {
+				minD = t.distB[node]
+			}
+			if r.LinkTxQueued() == 0 {
+				continue
+			}
+			for m := r.TxPortMask() &^ 1; m != 0; m &= m - 1 {
+				port := bits.TrailingZeros32(m)
+				out := r.Outputs[port]
+				l := out.Link
+				if l == nil {
+					continue
+				}
+				s := n.dueCycle(out.TxFront().ReadyAt())
+				if c := n.dueCycle(l.EarliestSend()); c > s {
+					s = c
+				}
+				if s < w0 {
+					s = w0
+				}
+				h := s + la
+				if d := t.nbrD[node*ports+port]; d >= 0 {
+					if d >= farDist {
+						continue // neighbor cannot reach a boundary
+					}
+					h += hop * int64(d+1)
+				}
+				if h < best {
+					best = h
+					if best <= floor {
+						return floor
+					}
+				}
+			}
+		}
+	}
+	for w, word := range t.injMask {
+		base := w << 6
+		for word != 0 {
+			node := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if t.distB[node] < minD {
+				minD = t.distB[node]
+			}
+		}
+	}
+	if minD < farDist {
+		if h := w0 + hop*int64(minD+1); h < best {
+			best = h
+		}
+	}
+	if best < floor {
+		best = floor
+	}
+	return best
+}
+
+// runTo advances the tile to cycle e, one step per cycle, jumping over
+// locally idle stretches (no active routers, no injector work, no ring
+// messages) straight to the tile's next scheduler event. This is the loop
+// each tile worker runs between merges; it touches only tile-owned state
 // (its routers, links, injectors, ring, pool) plus immutable shared data.
+// On return, promised holds the bound covering the next window.
 func (t *tileState) runTo(e int64) {
 	for t.cycle < e {
+		if !t.n.noskip && t.activeCount == 0 && t.injCount == 0 && t.ringCount == 0 {
+			c := e
+			if t.sched.Pending() > 0 {
+				if d := t.n.dueCycle(t.sched.PeekTime()); d < c {
+					c = d
+				}
+			}
+			if c > t.cycle {
+				if ran := t.sched.RunUntil(sim.Time(c-1) * t.n.Cfg.RouterPeriod); ran != 0 {
+					panic(fmt.Sprintf("network: tile fast-forward to cycle %d ran %d events — jump bound broken", c, ran))
+				}
+				for i := t.cycle; i < c; i++ {
+					t.ticked = append(t.ticked, 0)
+				}
+				t.cycle = c
+				continue
+			}
+		}
 		t.step()
 	}
+	t.promised = t.bound(e)
 }
 
 // step is Network.Step restricted to one tile: deliver the tile's pending
 // events, inject at the tile's sources, tick its active routers, transmit
 // and eject — identical phase order, identical instants. Policy windows,
-// probes and audit scans are barrier work and deliberately absent here.
+// probes and audit scans are window-end work and deliberately absent here.
 func (t *tileState) step() {
 	n := t.n
 	now := sim.Time(t.cycle) * n.Cfg.RouterPeriod
@@ -392,7 +689,7 @@ func (t *tileState) transmit(now sim.Time) {
 }
 
 // transmitNode mirrors Network.transmitNode; arrivals bound for another
-// tile are parked in the outbox until the barrier.
+// tile are parked in the outbox until the merge.
 func (t *tileState) transmitNode(node int, now sim.Time) {
 	n := t.n
 	r := n.Routers[node]
@@ -439,7 +736,7 @@ func (t *tileState) transmitNode(node int, now sim.Time) {
 }
 
 // eject mirrors Network.eject over the tile's active mask; tails are
-// buffered for the barrier's ordered replay instead of touching the global
+// buffered for the merge's ordered replay instead of touching the global
 // accumulators.
 func (t *tileState) eject(now sim.Time) {
 	n := t.n
@@ -502,11 +799,13 @@ func (t *tileState) walkTransit(v audit.TransitVisitor) {
 	}
 }
 
-// runTiled is Run for the tiled engine: advance in lookahead windows
-// separated by barriers, fast-forwarding fully quiescent stretches exactly
-// like the sequential core. Unaudited windows run on one persistent worker
-// goroutine per tile (spawned per Run, joined at its end); audited windows
-// run inline, sequentially, because the audit checker is single-threaded.
+// runTiled is Run for the tiled engine: advance in extracted-lookahead
+// windows, merging cross-tile state only when a window produced cross-tile
+// messages (or a probe/audit edge or the deferral cap forces it), and
+// fast-forwarding fully quiescent stretches exactly like the sequential
+// core. Unaudited windows run on one persistent worker goroutine per tile
+// when the host has more than one CPU (or forceTileWorkers is set);
+// otherwise tiles run inline on the coordinator.
 func (n *Network) runTiled(cycles int64) {
 	if n.Trace != nil {
 		// Tile steps do not log packet events (the buffer is unsynchronized
@@ -515,9 +814,13 @@ func (n *Network) runTiled(cycles int64) {
 		panic("network: event tracing requires an untiled network")
 	}
 	target := n.cycle + cycles
+	for _, t := range n.tiles {
+		t.promised = t.bound(n.cycle)
+	}
+	useWorkers := n.aud == nil && (n.forceTileWorkers || runtime.GOMAXPROCS(0) > 1)
 	var work []chan int64
 	var done chan struct{}
-	if n.aud == nil {
+	if useWorkers {
 		done = make(chan struct{}, len(n.tiles))
 		for _, t := range n.tiles {
 			ch := make(chan int64)
@@ -538,11 +841,17 @@ func (n *Network) runTiled(cycles int64) {
 	for n.cycle < target {
 		if !n.noskip && n.tilesQuiescent() {
 			if c := n.nextInterestingCycleTiled(target); c > n.cycle {
+				if n.tileMerged < n.cycle {
+					n.mergeTiles(n.cycle)
+				}
 				n.fastForwardTiled(c)
+				for _, t := range n.tiles {
+					t.promised = t.bound(n.cycle)
+				}
 				continue
 			}
 		}
-		e := n.tileWindowEnd(target)
+		e := n.tilePlanWindow(target)
 		if work == nil {
 			for _, t := range n.tiles {
 				t.runTo(e)
@@ -555,13 +864,20 @@ func (n *Network) runTiled(cycles int64) {
 				<-done
 			}
 		}
-		n.tileBarrier(e)
+		n.tileWindowEnd(e)
+	}
+	// Run boundaries expose the global accumulators (Snapshot,
+	// BeginMeasurement, checkpointing): settle every deferred merge.
+	if n.tileMerged < n.cycle {
+		n.mergeTiles(n.cycle)
 	}
 }
 
-// tilesQuiescent reports whether no tile holds work: mirrors the
-// sequential quiescence test per tile (outboxes and delivery buffers are
-// empty between barriers by construction).
+// tilesQuiescent reports whether no tile holds live work: mirrors the
+// sequential quiescence test per tile. Outboxes are empty whenever this is
+// consulted (a window end with a non-empty outbox merges), but deliveries
+// and tick logs may still be deferred — runTiled settles them before
+// fast-forwarding.
 func (n *Network) tilesQuiescent() bool {
 	for _, t := range n.tiles {
 		if t.activeCount != 0 || t.injCount != 0 || t.ringCount != 0 {
@@ -604,13 +920,15 @@ func (n *Network) nextInterestingCycleTiled(target int64) int64 {
 }
 
 // fastForwardTiled jumps every tile (and the global clock) to cycle c; no
-// tile scheduler may hold an event inside the jumped span.
+// tile scheduler may hold an event inside the jumped span, and every
+// deferred merge must have been settled (tileMerged == cycle).
 func (n *Network) fastForwardTiled(c int64) {
 	skipped := c - n.cycle
 	n.skips.CyclesFastForwarded += skipped
 	n.skips.FastForwards++
 	n.skips.RouterTicksElided += skipped * int64(len(n.Routers))
 	n.cycle = c
+	n.tileMerged = c
 	edge := sim.Time(c-1) * n.Cfg.RouterPeriod
 	for _, t := range n.tiles {
 		t.cycle = c
@@ -623,13 +941,29 @@ func (n *Network) fastForwardTiled(c int64) {
 	}
 }
 
-// tileWindowEnd reports the next barrier cycle: at most lookahead ahead,
-// clamped so every policy-window close, probe tick and audit scan falls on
-// a barrier (mirroring the boundary set nextInterestingCycle respects).
-func (n *Network) tileWindowEnd(target int64) int64 {
-	e := n.cycle + n.lookahead
-	if e > target {
-		e = target
+// tilePlanWindow reports the next window end: the minimum over tiles of
+// each tile's promised bound — lowered by the hazard horizon of cross-tile
+// arrivals merged after that promise was computed — capped at the merge
+// deferral limit, clamped so every policy-window close, probe tick and
+// audit scan lands on a window end (mirroring the boundary set
+// nextInterestingCycle respects), and floored at one cycle: a single-cycle
+// window is intrinsically safe because every cross-tile message is delayed
+// by at least one top-level link period. Each tile's pledge — the bound
+// its outboxed messages are verified against — is fixed here.
+func (n *Network) tilePlanWindow(target int64) int64 {
+	e := target
+	if capAt := n.tileMerged + maxTileWindow; e > capAt {
+		e = capAt
+	}
+	for _, t := range n.tiles {
+		b := t.promised
+		if t.ringCount > 0 && t.crossRingMin < b {
+			b = t.crossRingMin
+		}
+		t.pledge = b
+		if b < e {
+			e = b
+		}
 	}
 	clamp := func(every int64) {
 		if b := boundaryFrom(n.cycle, every) + 1; b < e {
@@ -645,26 +979,79 @@ func (n *Network) tileWindowEnd(target int64) int64 {
 	if n.aud != nil {
 		clamp(n.aud.ScanEvery())
 	}
+	if e <= n.cycle {
+		e = n.cycle + 1
+	}
 	return e
 }
 
-// tileBarrier closes the window ending at cycle e: drain cross-tile
-// outboxes in canonical order, replay buffered deliveries into the global
-// accumulators in (cycle, tile) order, merge counters, then run the
-// cycle-aligned global machinery (policy windows, probes, audit scans) at
-// exactly the instants the sequential Step would.
-func (n *Network) tileBarrier(e int64) {
-	w0 := n.cycle
+// tileWindowEnd closes the window ending at cycle e: advance the global
+// clock, merge the tiles — or elide the merge when every cross-tile outbox
+// is empty and no probe tick, audit scan or deferral cap forces one — then
+// run the cycle-aligned global machinery (policy windows, probes, audit
+// scans) at exactly the instants the sequential Step would.
+func (n *Network) tileWindowEnd(e int64) {
 	n.cycle = e
 	edge := sim.Time(e-1) * n.Cfg.RouterPeriod
 	if ran := n.Sched.RunUntil(edge); ran != 0 {
 		panic("network: events on the global scheduler of a tiled run")
 	}
+	n.skips.TileWindows++
+	merge := n.noTileElide || e-n.tileMerged >= maxTileWindow
+	if !merge {
+	outboxes:
+		for _, t := range n.tiles {
+			for _, box := range t.outbox {
+				if len(box) != 0 {
+					merge = true
+					break outboxes
+				}
+			}
+		}
+	}
+	if !merge && n.Probe != nil && n.ProbeEvery > 0 && e%n.ProbeEvery == 0 {
+		merge = true // probes read the global accumulators
+	}
+	if !merge && n.aud != nil && e%n.aud.ScanEvery() == 0 {
+		merge = true // scans walk every ledger, including deferred state
+	}
+	if merge {
+		n.mergeTiles(e)
+	} else {
+		n.skips.TileBarriersElided++
+	}
+	if !n.dvsHold && e%int64(n.Cfg.DVS.H) == 0 {
+		n.runPolicies(edge)
+	}
+	if n.Probe != nil && n.ProbeEvery > 0 && e%n.ProbeEvery == 0 {
+		n.Probe(edge)
+	}
+	if n.aud != nil && e%n.aud.ScanEvery() == 0 {
+		n.aud.EndCycle(e, edge)
+	}
+}
+
+// mergeTiles drains the cross-tile outboxes in canonical order and replays
+// the deferred per-tile accumulators into the global ones, advancing the
+// merge frontier to cycle e: buffered deliveries replay in (cycle, tile)
+// order, integer counters merge additively, and per-cycle tick logs fold
+// into the skip statistics. Under Config.VerifyLookahead or an audit,
+// every outboxed message is checked against the bound its source tile
+// pledged for the window that generated it.
+func (n *Network) mergeTiles(e int64) {
+	w0 := n.tileMerged
+	n.skips.TileBarriers++
+	verify := n.Cfg.VerifyLookahead || n.aud != nil
 
 	// Cross-tile messages, in (source tile, generation order), bucketed
-	// into the destination tile's ring by due cycle. The lookahead bound
-	// guarantees due >= e; the ring span bounds it above (cross-tile
-	// delays are at most one bottom-level link period).
+	// into the destination tile's ring by due cycle. Every message was
+	// generated in the window just ended (earlier windows with non-empty
+	// outboxes merged at their own ends), so the lookahead bound guarantees
+	// due >= e and the ring span bounds it above (cross-tile delays are at
+	// most one bottom-level link period). Merged flit arrivals are new
+	// hazards the destination's promise has not seen; fold them into its
+	// crossRingMin (the arrival's own onward journey and the credit it will
+	// owe are both at least one link period past its due cycle).
 	for _, src := range n.tiles {
 		for dt, box := range src.outbox {
 			if len(box) == 0 {
@@ -673,12 +1060,18 @@ func (n *Network) tileBarrier(e int64) {
 			dest := n.tiles[dt]
 			for i, m := range box {
 				due := n.dueCycle(m.at)
+				if verify && due < src.pledge {
+					n.laViolations++
+				}
 				if due < e || due-e >= ringSize {
 					panic(fmt.Sprintf("network: cross-tile message due cycle %d outside window end %d", due, e))
 				}
 				b := &dest.ring[due%ringSize]
 				if m.node >= 0 {
 					b.arrivals = append(b.arrivals, arrivalMsg{in: m.in, flit: m.flit, node: m.node})
+					if h := due + n.lookahead; h < dest.crossRingMin {
+						dest.crossRingMin = h
+					}
 				} else {
 					b.credits = append(b.credits, creditMsg{out: m.out, vc: m.vc})
 				}
@@ -710,10 +1103,14 @@ func (n *Network) tileBarrier(e int64) {
 			}
 		}
 	}
+	span := int(e - w0)
 	nodes := len(n.Routers)
 	for _, t := range n.tiles {
 		if t.delIdx != len(t.deliveries) {
 			panic("network: tiled delivery recorded outside its window")
+		}
+		if len(t.ticked) != span {
+			panic("network: tiled tick log out of step with the merge frontier")
 		}
 		for i := range t.deliveries {
 			t.deliveries[i] = tileDelivery{}
@@ -723,7 +1120,7 @@ func (n *Network) tileBarrier(e int64) {
 		n.InFlight += t.inFlightDelta
 		t.injected, t.inFlightDelta = 0, 0
 	}
-	for i := 0; i < int(e-w0); i++ {
+	for i := 0; i < span; i++ {
 		total := 0
 		for _, t := range n.tiles {
 			total += t.ticked[i]
@@ -736,14 +1133,5 @@ func (n *Network) tileBarrier(e int64) {
 	for _, t := range n.tiles {
 		t.ticked = t.ticked[:0]
 	}
-
-	if !n.dvsHold && e%int64(n.Cfg.DVS.H) == 0 {
-		n.runPolicies(edge)
-	}
-	if n.Probe != nil && n.ProbeEvery > 0 && e%n.ProbeEvery == 0 {
-		n.Probe(edge)
-	}
-	if n.aud != nil && e%n.aud.ScanEvery() == 0 {
-		n.aud.EndCycle(e, edge)
-	}
+	n.tileMerged = e
 }

@@ -82,12 +82,17 @@ func (t *Trace) At(i int) Arrival {
 }
 
 // cursor is a streaming window over an encoded trace: one decoded block,
-// re-decoded on demand as the index moves. Sequential walks decode each
-// block exactly once; a seek (checkpoint resume) costs one block decode.
+// re-loaded on demand as the index moves. A private cursor decodes into
+// its own reused buffer; a shared cursor borrows read-only blocks from the
+// trace's shared decoded-block cache, so N concurrent replays of one trace
+// decode each block once between them instead of once each. Sequential
+// walks load each block exactly once; a seek (checkpoint resume) costs one
+// block load.
 type cursor struct {
-	enc  *tracestore.Encoded
-	base int // index of buf[0]
-	buf  []Arrival
+	enc    *tracestore.Encoded
+	shared bool // borrow blocks from the shared cache instead of decoding
+	base   int  // index of buf[0]
+	buf    []Arrival
 }
 
 func (c *cursor) at(i int) Arrival {
@@ -98,7 +103,15 @@ func (c *cursor) at(i int) Arrival {
 }
 
 func (c *cursor) load(block int) {
-	buf, err := c.enc.DecodeBlock(block, c.buf)
+	var buf []Arrival
+	var err error
+	if c.shared {
+		// The shared slice is read-only and must never be handed back to
+		// DecodeBlock as scratch; at() only ever reads it.
+		buf, err = c.enc.SharedBlock(block)
+	} else {
+		buf, err = c.enc.DecodeBlock(block, c.buf)
+	}
 	if err != nil {
 		// Unreachable for store-loaded traces (Decode verified the
 		// checksum) and for captures (we encoded them); reaching it means
@@ -159,6 +172,10 @@ func (r *Replay) Done() bool { return r.i >= r.tr.Len() }
 func (r *Replay) Trace() *Trace { return r.tr }
 
 func (t *Trace) newReplay(sched *sim.Scheduler, inject Injector) *Replay {
+	// A plain replay has exactly one cursor streaming the trace, so it keeps
+	// the private reused decode buffer (zero steady-state allocations). Only
+	// the filtered walk goes through the shared cache: that is the path N
+	// tile cursors use to stream one trace concurrently.
 	r := &Replay{tr: t, sched: sched, inject: inject, cur: cursor{enc: t.enc}}
 	n := t.Len()
 	r.step = func() {
@@ -212,7 +229,7 @@ func (t *Trace) LaunchReplayFiltered(sched *sim.Scheduler, horizon sim.Time, inj
 	if horizon != t.Horizon() {
 		panic(fmt.Sprintf("traffic: trace captured for horizon %v replayed with %v", t.Horizon(), horizon))
 	}
-	r := &Replay{tr: t, sched: sched, inject: inject, cur: cursor{enc: t.enc}}
+	r := &Replay{tr: t, sched: sched, inject: inject, cur: cursor{enc: t.enc, shared: true}}
 	n := t.Len()
 	next := func(i int) int {
 		for i < n && !keep(int(r.cur.at(i).Src)) {

@@ -291,3 +291,39 @@ func TestTraceName(t *testing.T) {
 		t.Fatalf("trace name %q, want %q", tr.Name(), m.Name())
 	}
 }
+
+// N replays of one trace must decode each block once between them, not
+// once each: replay cursors borrow read-only blocks from the trace's
+// shared decoded-block cache, and decoding happens under the cache lock
+// so even concurrent misses on one block cost a single decode.
+func TestSharedBlockDecodeCount(t *testing.T) {
+	const blocks = 3
+	n := blocks * tracestore.DefaultBlockLen
+	recs := make([]Arrival, n)
+	for i := range recs {
+		recs[i] = Arrival{At: sim.Time(i + 1), Task: int64(i), Src: int32(i % 64), Dst: int32((i + 7) % 64)}
+	}
+	horizon := sim.Time(n + 1)
+	tr := FromEncoded(tracestore.EncodeRecords("synthetic", horizon, recs))
+	if got := tr.Encoded().Blocks(); got != blocks {
+		t.Fatalf("trace has %d blocks, want %d", got, blocks)
+	}
+	// Filtered replays are the shared-cache path (tiled runs stream one
+	// trace through N per-tile cursors); each block must decode once no
+	// matter how many cursors walk it.
+	const replays = 4
+	total := 0
+	for k := 0; k < replays; k++ {
+		var sched sim.Scheduler
+		tr.LaunchReplayFiltered(&sched, horizon,
+			func(int, int, sim.Time, int64) { total++ },
+			func(int) bool { return true })
+		sched.RunUntil(horizon)
+	}
+	if total != replays*n {
+		t.Fatalf("replays injected %d arrivals, want %d", total, replays*n)
+	}
+	if got := tr.Encoded().DecodeCount(); got != blocks {
+		t.Fatalf("DecodeCount = %d after %d replays of %d blocks, want %d (one decode per block)", got, replays, blocks, blocks)
+	}
+}

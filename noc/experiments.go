@@ -105,6 +105,22 @@ func PrefetchExperiments(ids []string, o ExperimentOptions) ([]CachePrefetchEntr
 // into results.
 func SetExperimentParallelism(j int) { exp.SetParallelism(j) }
 
+// TileBarrierCounters summarizes the tile-parallel runs the experiment
+// harness executed in this process: planned lookahead windows, actual
+// cross-tile merges, and merges elided because no cross-tile traffic was
+// pending. All zero when no tiled point simulated (including when every
+// point was a cache hit).
+type TileBarrierCounters struct {
+	Windows, Barriers, Elided int64
+}
+
+// ExperimentTileBarrierStats reports the process-wide tiled barrier
+// counters accumulated across experiment runs.
+func ExperimentTileBarrierStats() TileBarrierCounters {
+	s := exp.TileBarrierStats()
+	return TileBarrierCounters{Windows: s.Windows, Barriers: s.Barriers, Elided: s.Elided}
+}
+
 // RunExperiments regenerates several experiments concurrently (bounded by
 // SetExperimentParallelism) and returns each one's rendered output in
 // input order. Points shared between experiments simulate once.

@@ -89,6 +89,15 @@ type Config struct {
 	// error; the others panic on use). 0 or 1 selects the single-scheduler
 	// engine unchanged.
 	Tiles int
+
+	// VerifyLookahead makes the tile-parallel engine re-check, at every
+	// merge, that each cross-tile message lands no earlier than the bound
+	// its source tile promised when the window was planned. Violations are
+	// counted rather than fatal (the engine's own due>=windowEnd panic
+	// still guards correctness). A debugging/test knob: results are
+	// identical with or without it; only speed differs. Ignored when
+	// Tiles <= 1.
+	VerifyLookahead bool
 }
 
 // DefaultConfig returns the paper's experimental platform: an 8x8 mesh of
@@ -139,6 +148,7 @@ func (c Config) lower() (network.Config, error) {
 	cfg.Audit.Enabled = c.Audit
 	cfg.NoSkip = c.NoSkip
 	cfg.Tiles = c.Tiles
+	cfg.VerifyLookahead = c.VerifyLookahead
 	switch c.Policy {
 	case PolicyHistory, "":
 		cfg.Policy = network.PolicyHistory
@@ -357,6 +367,14 @@ type SkipStats struct {
 	ElisionRatio      float64
 	// ActiveHist[k] counts executed cycles that ticked exactly k routers.
 	ActiveHist []int64
+	// Tile-parallel barrier accounting (zero unless Config.Tiles > 1).
+	// TileWindows counts planned lookahead windows; TileBarriers counts
+	// actual cross-tile merges (including forced flushes at run
+	// boundaries); TileBarriersElided counts window ends whose merge was
+	// skipped because no cross-tile traffic was pending.
+	TileWindows        int64
+	TileBarriers       int64
+	TileBarriersElided int64
 }
 
 // SkipStats reports the activity-driven core's skip counters. With
@@ -371,6 +389,9 @@ func (n *Network) SkipStats() SkipStats {
 		RouterTicksElided:   s.RouterTicksElided,
 		ElisionRatio:        s.ElisionRatio(),
 		ActiveHist:          s.ActiveHist,
+		TileWindows:         s.TileWindows,
+		TileBarriers:        s.TileBarriers,
+		TileBarriersElided:  s.TileBarriersElided,
 	}
 }
 
